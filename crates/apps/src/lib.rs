@@ -1,0 +1,34 @@
+//! # spin-apps — the paper's use cases and baselines
+//!
+//! Every workload evaluated in the sPIN paper (§4.4 microbenchmarks, §5 use
+//! cases, §5.4 sketches), each implemented for all applicable transports so
+//! experiments can compare RDMA, Portals 4 triggered operations, and sPIN:
+//!
+//! * [`pingpong`] — §4.4.1 / Fig. 3b–3c: RDMA vs P4 vs sPIN store/stream;
+//! * [`accumulate`] — §4.4.2 / Fig. 3d: complex multiply-accumulate into
+//!   host memory, CPU vs HPU;
+//! * [`bcast`] — §4.4.3 / Fig. 5a: binomial-tree broadcast, host-forwarded
+//!   vs triggered vs streaming handlers;
+//! * [`matching`] — §5.1 / Fig. 5b: offloaded MPI message matching (eager +
+//!   rendezvous protocols, posted/unexpected paths);
+//! * [`datatypes`] — §5.2 / Fig. 7a: MPI vector-datatype unpack on the NIC;
+//! * [`raid`] — §5.3 / Fig. 7c: distributed RAID-5 updates (Reed-Solomon
+//!   parity) with client/server/parity protocols;
+//! * [`kvstore`] — §5.4: key-value store insert/get handlers;
+//! * [`condread`] — §5.4: conditional read (database filter scan);
+//! * [`graph`] — §5.4: BFS/SSSP vertex-update handlers;
+//! * [`ftbcast`] — §5.4: fault-tolerant broadcast with NIC-side duplicate
+//!   suppression;
+//! * [`txlog`] — §5.4: distributed-transaction access logging.
+
+pub mod accumulate;
+pub mod bcast;
+pub mod condread;
+pub mod datatypes;
+pub mod ftbcast;
+pub mod graph;
+pub mod kvstore;
+pub mod matching;
+pub mod pingpong;
+pub mod raid;
+pub mod txlog;

@@ -1,0 +1,167 @@
+//! One Criterion group per paper figure/table: each benchmark runs the
+//! corresponding experiment at a reduced size, so `cargo bench` both
+//! exercises every evaluation path and tracks the simulator's wall-clock
+//! cost of regenerating the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spin_apps::accumulate::{self, AccMode};
+use spin_apps::bcast::{self, BcastMode};
+use spin_apps::datatypes::{self, DdtMode};
+use spin_apps::pingpong::{self, PingPongMode};
+use spin_apps::raid::{self, RaidMode};
+use spin_core::config::{MachineConfig, NicKind};
+use spin_trace::apps::{run_app, AppKind};
+use spin_trace::spc::{replay, synthesize, TraceFamily};
+use std::hint::black_box;
+
+fn fig3_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_pingpong");
+    for mode in PingPongMode::ALL {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                black_box(pingpong::run(
+                    MachineConfig::paper(NicKind::Integrated),
+                    mode,
+                    black_box(16 * 1024),
+                    2,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig3_accumulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3d_accumulate");
+    for mode in [AccMode::Rdma, AccMode::Spin] {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                black_box(accumulate::run(
+                    MachineConfig::paper(NicKind::Discrete),
+                    mode,
+                    black_box(128 * 1024),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig4_littles_law(c: &mut Criterion) {
+    let model = spin_sim::littles_law::LittlesLaw::paper();
+    c.bench_function("fig4_littles_law_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for s in (64..=4096).step_by(64) {
+                for t in [100u64, 200, 500, 1000] {
+                    total += model.hpus_needed(spin_sim::time::Time::from_ns(t), s);
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn fig5_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5a_bcast");
+    g.sample_size(10);
+    for mode in BcastMode::ALL {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                black_box(bcast::run(
+                    MachineConfig::paper(NicKind::Discrete),
+                    mode,
+                    black_box(8 * 1024),
+                    16,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn table5_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5c_apps");
+    g.sample_size(10);
+    for offload in [false, true] {
+        let name = if offload { "milc_offload" } else { "milc_host" };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_app(
+                    MachineConfig::paper(NicKind::Integrated),
+                    AppKind::Milc,
+                    8,
+                    2,
+                    offload,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig7_ddt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7a_ddt");
+    g.sample_size(10);
+    let dt = datatypes::fig7a_dt(512 * 1024, 2048);
+    for mode in [DdtMode::Rdma, DdtMode::Spin] {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                black_box(datatypes::run(
+                    MachineConfig::paper(NicKind::Integrated),
+                    mode,
+                    black_box(dt),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig7_raid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7c_raid");
+    g.sample_size(10);
+    for mode in [RaidMode::Rdma, RaidMode::Spin] {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                black_box(raid::run_fig7c(
+                    MachineConfig::paper(NicKind::Integrated),
+                    mode,
+                    black_box(256 * 1024),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn spc_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spc_replay");
+    g.sample_size(10);
+    let trace = synthesize(TraceFamily::Oltp, 30, 1);
+    for mode in [RaidMode::Rdma, RaidMode::Spin] {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                black_box(replay(
+                    MachineConfig::paper(NicKind::Integrated),
+                    mode,
+                    black_box(&trace),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig3_pingpong,
+    fig3_accumulate,
+    fig4_littles_law,
+    fig5_bcast,
+    table5_apps,
+    fig7_ddt,
+    fig7_raid,
+    spc_traces
+);
+criterion_main!(figures);

@@ -1,0 +1,113 @@
+//! Simulator-component throughput: the discrete-event core, the network
+//! model, resource reservation, and end-to-end events/second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spin_net::params::NetParams;
+use spin_net::transfer::Network;
+use spin_sim::engine::Engine;
+use spin_sim::resource::{IntervalResource, SerialResource};
+use spin_sim::time::Time;
+use std::hint::black_box;
+
+fn event_queue_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("post_pop_100k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            for i in 0..N {
+                engine
+                    .queue_mut()
+                    .post_at(Time::from_ps((i * 7919) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            engine.run_with(|_, _, ev| acc = acc.wrapping_add(ev));
+            black_box(acc)
+        })
+    });
+    g.bench_function("self_scheduling_chain_100k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            engine.queue_mut().post_at(Time::ZERO, 0);
+            engine.run_with(|q, _, ev| {
+                if ev < N {
+                    q.post_in(Time::from_ns(5), ev + 1);
+                }
+            });
+            black_box(engine.executed())
+        })
+    });
+    g.finish();
+}
+
+fn network_packet_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("send_packet_100k", |b| {
+        b.iter(|| {
+            let mut net = Network::new(1024, NetParams::paper());
+            let mut last = Time::ZERO;
+            for i in 0..N {
+                let t = net.send_packet(last, (i % 512) as u32, (512 + i % 512) as u32, 4096);
+                last = t.tx_start;
+            }
+            black_box(net.bytes_sent())
+        })
+    });
+    g.finish();
+}
+
+fn resource_reservation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resources");
+    const N: usize = 10_000;
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("serial_10k", |b| {
+        b.iter(|| {
+            let mut r = SerialResource::new();
+            for i in 0..N {
+                r.reserve(Time::from_ns(i as u64), Time::from_ns(3));
+            }
+            black_box(r.next_free())
+        })
+    });
+    g.bench_function("interval_coalescing_10k", |b| {
+        b.iter(|| {
+            let mut r = IntervalResource::new();
+            for i in 0..N {
+                r.reserve(Time::from_ns((i as u64 * 37) % 50_000), Time::from_ns(10));
+            }
+            black_box(r.horizon())
+        })
+    });
+    g.finish();
+}
+
+fn end_to_end_events_per_sec(c: &mut Criterion) {
+    use spin_apps::pingpong::{run_full, PingPongMode};
+    use spin_core::config::{MachineConfig, NicKind};
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("pingpong_stream_256k_events", |b| {
+        b.iter(|| {
+            let out = run_full(
+                MachineConfig::paper(NicKind::Integrated),
+                PingPongMode::SpinStream,
+                256 * 1024,
+                2,
+            );
+            black_box(out.report.events_executed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    simulator,
+    event_queue_throughput,
+    network_packet_throughput,
+    resource_reservation,
+    end_to_end_events_per_sec
+);
+criterion_main!(simulator);

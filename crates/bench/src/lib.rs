@@ -1,0 +1,5 @@
+//! # spin-bench — Criterion benchmarks
+//!
+//! Wall-clock benchmarks of the reproduction itself: one group per paper
+//! figure/table (measuring the simulator regenerating the experiment at a
+//! reduced size) plus simulator-component throughput. See `benches/`.

@@ -1,0 +1,135 @@
+//! Machine configuration: the complete §4.2/§4.3 parameter set.
+
+use spin_hpu::dma::DmaParams;
+use spin_hpu::pool::HpuConfig;
+use spin_net::params::NetParams;
+use spin_sim::noise::NoiseModel;
+use spin_sim::time::{BytesPerTime, Time};
+
+/// NIC integration style (§4): discrete over PCIe, or integrated on the
+/// memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NicKind {
+    /// Discrete NIC ("dis"): DMA L = 250 ns, 64 GiB/s.
+    Discrete,
+    /// Integrated NIC ("int"): DMA L = 50 ns, 150 GiB/s.
+    Integrated,
+}
+
+impl NicKind {
+    /// The matching DMA parameters from §4.3.
+    pub fn dma_params(self) -> DmaParams {
+        match self {
+            NicKind::Discrete => DmaParams::discrete(),
+            NicKind::Integrated => DmaParams::integrated(),
+        }
+    }
+
+    /// Short label used in experiment output ("dis"/"int").
+    pub fn label(self) -> &'static str {
+        match self {
+            NicKind::Discrete => "dis",
+            NicKind::Integrated => "int",
+        }
+    }
+}
+
+/// Host CPU and memory model (§4.2: eight 2.5 GHz Haswell cores, 8 MiB
+/// cache, 51 ns DRAM latency, 150 GiB/s).
+#[derive(Debug, Clone, Copy)]
+pub struct HostParams {
+    /// CPU cores per node.
+    pub cores: usize,
+    /// Host memory bandwidth.
+    pub mem_bandwidth: BytesPerTime,
+    /// DRAM access latency.
+    pub dram_latency: Time,
+    /// Latency from "event in the completion queue" to "host code reacts":
+    /// the polling/dispatch cost of an event-driven progress engine (one
+    /// DRAM read of the CQ entry plus branch-out).
+    pub dispatch_latency: Time,
+    /// Simulated host memory size per node.
+    pub mem_size: usize,
+}
+
+impl Default for HostParams {
+    fn default() -> Self {
+        HostParams {
+            cores: 8,
+            mem_bandwidth: BytesPerTime::from_gib_per_sec(150.0),
+            dram_latency: Time::from_ns(51),
+            dispatch_latency: Time::from_ns(51),
+            mem_size: 64 << 20,
+        }
+    }
+}
+
+/// The full machine configuration for one simulation.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// NIC integration (selects DMA parameters).
+    pub nic: NicKind,
+    /// Network LogGOPS parameters.
+    pub net: NetParams,
+    /// HPU pool configuration.
+    pub hpu: HpuConfig,
+    /// Host CPU/memory parameters.
+    pub host: HostParams,
+    /// Channel CAM capacity (concurrent in-flight matched messages per NIC).
+    pub cam_capacity: usize,
+    /// Default event-queue capacity.
+    pub eq_capacity: usize,
+    /// Portal-table entries per NI.
+    pub num_pts: usize,
+    /// OS noise on host cores (None = noiseless).
+    pub noise: Option<NoiseModel>,
+    /// Record Gantt timelines (costs memory; for examples/debugging).
+    pub record_gantt: bool,
+    /// RNG seed for noise streams.
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The paper's configuration with the given NIC integration.
+    pub fn paper(nic: NicKind) -> Self {
+        MachineConfig {
+            nic,
+            net: NetParams::paper(),
+            hpu: HpuConfig::paper(),
+            host: HostParams::default(),
+            cam_capacity: 1024,
+            eq_capacity: 1 << 16,
+            num_pts: 8,
+            noise: None,
+            record_gantt: false,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Discrete-NIC paper configuration.
+    pub fn discrete() -> Self {
+        Self::paper(NicKind::Discrete)
+    }
+
+    /// Integrated-NIC paper configuration.
+    pub fn integrated() -> Self {
+        Self::paper(NicKind::Integrated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs() {
+        let c = MachineConfig::discrete();
+        assert_eq!(c.nic.label(), "dis");
+        assert_eq!(c.nic.dma_params().latency, Time::from_ns(250));
+        assert_eq!(c.hpu.cores, 4);
+        assert_eq!(c.host.cores, 8);
+        let c = MachineConfig::integrated();
+        assert_eq!(c.nic.dma_params().latency, Time::from_ns(50));
+        assert!((c.host.mem_bandwidth.gib_per_sec() - 150.0).abs() < 0.5);
+    }
+}

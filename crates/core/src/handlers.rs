@@ -1,0 +1,269 @@
+//! The sPIN handler interface (§2, §3.2, Appendix B).
+//!
+//! A handler set is the model's equivalent of the `__handler`-decorated C
+//! functions the paper compiles for the NIC ISA: plain code with access to
+//! the packet, the shared HPU memory (`*state`), and the `PtlHandler*`
+//! actions exposed through [`HandlerCtx`]. Handlers charge their own compute
+//! via `ctx.compute_cycles` (the per-action costs are charged automatically),
+//! which is how this reproduction substitutes gem5's cycle-accurate timing —
+//! see DESIGN.md §1.
+//!
+//! Per §3.2:
+//! * the **header handler** runs exactly once per message, before anything
+//!   else;
+//! * **payload handlers** run per packet, possibly concurrently on different
+//!   HPUs, sharing HPU memory coherently;
+//! * the **completion handler** runs once after all payload handlers, before
+//!   the completion event is delivered to the host.
+
+use crate::HandlerResult;
+use spin_hpu::ctx::{CompletionInfo, CompletionRet, HandlerCtx, HeaderRet, PayloadRet};
+use spin_hpu::memory::HpuMemory;
+use spin_portals::types::PtlHeader;
+use std::sync::Arc;
+
+/// Arguments to the header handler (`ptl_header_t` view).
+pub struct HeaderArgs<'a> {
+    /// The message header, including the parsed user header.
+    pub header: &'a PtlHeader,
+}
+
+/// Arguments to the payload handler (`ptl_payload_t` view).
+pub struct PayloadArgs<'a> {
+    /// Payload bytes of this packet, excluding any user header.
+    pub data: &'a [u8],
+    /// Byte offset of `data` within the message payload.
+    pub offset: usize,
+    /// Total message payload length.
+    pub msg_length: usize,
+}
+
+/// A set of sPIN handlers installed on a matching entry.
+///
+/// Implementations must be `Send + Sync` because the experiment harness runs
+/// independent simulations on worker threads; within one simulation the
+/// runtime serializes calls (virtual-time concurrency is modelled by the HPU
+/// pool, see `spin-hpu`).
+pub trait Handlers: Send + Sync {
+    /// Header handler: called once per message before all other handlers.
+    /// Default: proceed with payload processing.
+    fn header(
+        &self,
+        _ctx: &mut HandlerCtx<'_>,
+        _args: &HeaderArgs<'_>,
+        _state: &mut HpuMemory,
+    ) -> HandlerResult<HeaderRet> {
+        Ok(HeaderRet::ProcessData)
+    }
+
+    /// Payload handler: called per payload-carrying packet after the header
+    /// handler completed. Default: accept the packet (data is dropped unless
+    /// the handler moves it somewhere).
+    fn payload(
+        &self,
+        _ctx: &mut HandlerCtx<'_>,
+        _args: &PayloadArgs<'_>,
+        _state: &mut HpuMemory,
+    ) -> HandlerResult<PayloadRet> {
+        Ok(PayloadRet::Success)
+    }
+
+    /// Completion handler: called once after the whole message is processed,
+    /// before the completion event reaches the host.
+    fn completion(
+        &self,
+        _ctx: &mut HandlerCtx<'_>,
+        _info: &CompletionInfo,
+        _state: &mut HpuMemory,
+    ) -> HandlerResult<CompletionRet> {
+        Ok(CompletionRet::Success)
+    }
+
+    /// Whether a header handler is installed (lets the runtime skip the HPU
+    /// occupancy when the user passed NULL for it, Appendix B.1).
+    fn has_header(&self) -> bool {
+        true
+    }
+
+    /// Whether a payload handler is installed.
+    fn has_payload(&self) -> bool {
+        true
+    }
+
+    /// Whether a completion handler is installed.
+    fn has_completion(&self) -> bool {
+        true
+    }
+}
+
+/// A shareable handler set.
+pub type HandlerSet = Arc<dyn Handlers>;
+
+/// Closure-based handlers for small experiments and tests.
+///
+/// Any omitted closure behaves like the corresponding default.
+#[allow(clippy::type_complexity)]
+pub struct FnHandlers {
+    /// Header closure, or `None` to use the default.
+    pub header_fn: Option<
+        Box<
+            dyn Fn(&mut HandlerCtx<'_>, &HeaderArgs<'_>, &mut HpuMemory) -> HandlerResult<HeaderRet>
+                + Send
+                + Sync,
+        >,
+    >,
+    /// Payload closure.
+    pub payload_fn: Option<
+        Box<
+            dyn Fn(
+                    &mut HandlerCtx<'_>,
+                    &PayloadArgs<'_>,
+                    &mut HpuMemory,
+                ) -> HandlerResult<PayloadRet>
+                + Send
+                + Sync,
+        >,
+    >,
+    /// Completion closure.
+    pub completion_fn: Option<
+        Box<
+            dyn Fn(
+                    &mut HandlerCtx<'_>,
+                    &CompletionInfo,
+                    &mut HpuMemory,
+                ) -> HandlerResult<CompletionRet>
+                + Send
+                + Sync,
+        >,
+    >,
+}
+
+impl Default for FnHandlers {
+    fn default() -> Self {
+        FnHandlers {
+            header_fn: None,
+            payload_fn: None,
+            completion_fn: None,
+        }
+    }
+}
+
+impl FnHandlers {
+    /// Empty set (all defaults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the header closure.
+    pub fn on_header(
+        mut self,
+        f: impl Fn(&mut HandlerCtx<'_>, &HeaderArgs<'_>, &mut HpuMemory) -> HandlerResult<HeaderRet>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        self.header_fn = Some(Box::new(f));
+        self
+    }
+
+    /// Set the payload closure.
+    pub fn on_payload(
+        mut self,
+        f: impl Fn(&mut HandlerCtx<'_>, &PayloadArgs<'_>, &mut HpuMemory) -> HandlerResult<PayloadRet>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        self.payload_fn = Some(Box::new(f));
+        self
+    }
+
+    /// Set the completion closure.
+    pub fn on_completion(
+        mut self,
+        f: impl Fn(&mut HandlerCtx<'_>, &CompletionInfo, &mut HpuMemory) -> HandlerResult<CompletionRet>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        self.completion_fn = Some(Box::new(f));
+        self
+    }
+
+    /// Wrap into the shareable form.
+    pub fn build(self) -> HandlerSet {
+        Arc::new(self)
+    }
+}
+
+impl Handlers for FnHandlers {
+    fn header(
+        &self,
+        ctx: &mut HandlerCtx<'_>,
+        args: &HeaderArgs<'_>,
+        state: &mut HpuMemory,
+    ) -> HandlerResult<HeaderRet> {
+        match &self.header_fn {
+            Some(f) => f(ctx, args, state),
+            None => Ok(HeaderRet::ProcessData),
+        }
+    }
+
+    fn payload(
+        &self,
+        ctx: &mut HandlerCtx<'_>,
+        args: &PayloadArgs<'_>,
+        state: &mut HpuMemory,
+    ) -> HandlerResult<PayloadRet> {
+        match &self.payload_fn {
+            Some(f) => f(ctx, args, state),
+            None => Ok(PayloadRet::Success),
+        }
+    }
+
+    fn completion(
+        &self,
+        ctx: &mut HandlerCtx<'_>,
+        info: &CompletionInfo,
+        state: &mut HpuMemory,
+    ) -> HandlerResult<CompletionRet> {
+        match &self.completion_fn {
+            Some(f) => f(ctx, info, state),
+            None => Ok(CompletionRet::Success),
+        }
+    }
+
+    fn has_header(&self) -> bool {
+        self.header_fn.is_some()
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload_fn.is_some()
+    }
+
+    fn has_completion(&self) -> bool {
+        self.completion_fn.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Noop;
+    impl Handlers for Noop {}
+
+    #[test]
+    fn defaults() {
+        let n = Noop;
+        assert!(n.has_header() && n.has_payload() && n.has_completion());
+    }
+
+    #[test]
+    fn fn_handlers_flags() {
+        let h = FnHandlers::new().on_payload(|_, _, _| Ok(PayloadRet::Success));
+        assert!(!h.has_header());
+        assert!(h.has_payload());
+        assert!(!h.has_completion());
+    }
+}

@@ -1,0 +1,39 @@
+//! # spin-core — the sPIN programming model and full-system simulation
+//!
+//! This crate is the paper's primary contribution plus the glue of its
+//! toolchain: the **sPIN programming model** (user-defined header / payload /
+//! completion handlers executing on NIC handler processing units, §2), the
+//! **P4sPIN interface** binding handlers to Portals 4 matching entries
+//! (§3.2, Appendix B), and the **full-system simulation world** that couples
+//! the network model (`spin-net`), the Portals substrate (`spin-portals`),
+//! and the HPU subsystem (`spin-hpu`) into one discrete-event simulation —
+//! the role LogGOPSim + gem5 play in the paper (§4.2).
+//!
+//! Three transports coexist, so every experiment can compare them:
+//!
+//! * **RDMA** — messages are deposited into host memory; the host CPU reacts
+//!   to completion events (subject to overhead `o`, memory bandwidth, and
+//!   optional OS noise);
+//! * **Portals 4** — counters fire pre-set-up *triggered operations* on the
+//!   NIC without host involvement, but data still round-trips host memory;
+//! * **sPIN** — handlers process packets in NIC-local memory, issuing puts
+//!   from device or host, DMA, and counter operations per the paper.
+//!
+//! Start with [`world::SimBuilder`]; the crate-level tests and the
+//! `spin-apps` crate show complete scenarios.
+
+pub mod config;
+pub mod handlers;
+pub mod host;
+pub mod msg;
+pub mod nic;
+pub mod world;
+
+pub use config::{HostParams, MachineConfig, NicKind};
+pub use handlers::{FnHandlers, Handlers, HeaderArgs, PayloadArgs};
+pub use host::{HostApi, HostProgram, MeSpec, PutArgs};
+pub use msg::{Notify, OutMsg, PayloadSpec};
+pub use world::{Report, SimBuilder, World};
+
+/// Crate-wide result alias for handler code: `Err` is the model's SEGV.
+pub type HandlerResult<T> = Result<T, spin_hpu::memory::Segv>;

@@ -1,0 +1,156 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! * **HPU count** (§4.4.2 "How many HPUs are needed?") — accumulate
+//!   completion time as cores vary;
+//! * **yield-on-DMA** (§4.1 massive multithreading) — the same workload
+//!   with stalling vs descheduling handlers;
+//! * **handler cycle cost** (gem5 substitution robustness) — ping-pong
+//!   latency when handler compute is scaled ±4× around the cost model.
+
+use rayon::prelude::*;
+use spin_apps::accumulate::{self, AccMode};
+use spin_core::config::{MachineConfig, NicKind};
+use spin_core::handlers::FnHandlers;
+use spin_core::host::{HostApi, HostProgram, MeSpec, PutArgs};
+use spin_core::world::SimBuilder;
+use spin_hpu::ctx::PayloadRet;
+use spin_portals::eq::{EventKind, FullEvent};
+use spin_sim::stats::Table;
+
+/// Accumulate (1 MiB) completion over HPU core count, with and without
+/// yield-on-DMA.
+pub fn hpu_count_table(quick: bool) -> Table {
+    let bytes = if quick { 256 * 1024 } else { 1 << 20 };
+    let cores = [1usize, 2, 4, 8, 16];
+    let mut table = Table::new("ablation-hpus", "HPU cores", "accumulate (us)");
+    let rows: Vec<_> = cores
+        .par_iter()
+        .map(|&c| {
+            let mut ys = Vec::new();
+            for yield_on_dma in [false, true] {
+                let mut cfg = MachineConfig::paper(NicKind::Integrated);
+                cfg.hpu.cores = c;
+                cfg.hpu.yield_on_dma = yield_on_dma;
+                let t = accumulate::run(cfg, AccMode::Spin, bytes);
+                let label = if yield_on_dma { "yield" } else { "stall" };
+                ys.push((label.to_string(), t));
+            }
+            (c as f64, ys)
+        })
+        .collect();
+    for (x, ys) in rows {
+        table.push(x, ys);
+    }
+    table
+}
+
+struct CostClient {
+    bytes: usize,
+}
+impl HostProgram for CostClient {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        api.write_host(0, &vec![1u8; self.bytes]);
+        api.me_append(MeSpec::recv(0, 2, (1 << 20, self.bytes)));
+        api.mark("post");
+        api.put(PutArgs::from_host(1, 0, 1, 0, self.bytes));
+    }
+    fn on_event(&mut self, ev: &FullEvent, api: &mut HostApi<'_>) {
+        if ev.kind == EventKind::Put {
+            api.mark("done");
+        }
+    }
+}
+
+struct CostEcho {
+    extra_cycles: u64,
+    bytes: usize,
+}
+impl HostProgram for CostEcho {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        let extra = self.extra_cycles;
+        let hpu = api.hpu_alloc(8, None);
+        let handlers = FnHandlers::new()
+            .on_payload(move |ctx, args, _st| {
+                ctx.compute_cycles(extra);
+                ctx.put_from_device(args.data, 0, 2, args.offset, 0)?;
+                Ok(PayloadRet::Success)
+            })
+            .build();
+        api.me_append(MeSpec::recv(0, 1, (0, self.bytes)).with_handlers(handlers, hpu));
+    }
+}
+
+/// 64 KiB streamed echo latency as the per-packet handler cost scales from
+/// 1/4× to 4× the cost-model default (~34 cycles): shows the plateau below
+/// the §4.4.2 line-rate bound.
+pub fn handler_cost_table(_quick: bool) -> Table {
+    let bytes = 64 * 1024;
+    let mut table = Table::new("ablation-handler-cost", "extra cycles/packet", "echo (us)");
+    let rows: Vec<_> = [0u64, 8, 32, 128, 512, 2048]
+        .par_iter()
+        .map(|&extra| {
+            let mut cfg = MachineConfig::paper(NicKind::Integrated);
+            cfg.host.mem_size = 4 << 20;
+            let out = SimBuilder::new(cfg)
+                .add_node(Box::new(CostClient { bytes }))
+                .add_node(Box::new(CostEcho {
+                    extra_cycles: extra,
+                    bytes,
+                }))
+                .run();
+            // Any Put event back means a packet echo landed; the last one
+            // is when the stream completed.
+            let done = out
+                .report
+                .marks
+                .iter()
+                .filter(|(r, l, _)| *r == 0 && l == "done")
+                .map(|(_, _, t)| *t)
+                .max()
+                .expect("done");
+            let post = out.report.mark(0, "post").expect("post");
+            (extra as f64, vec![("echo".to_string(), (done - post).us())])
+        })
+        .collect();
+    for (x, ys) in rows {
+        table.push(x, ys);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_hpus_never_hurt() {
+        let t = hpu_count_table(true);
+        let mut prev = f64::INFINITY;
+        for row in &t.rows {
+            let v = t.get(row.x, "yield").unwrap();
+            assert!(v <= prev * 1.02, "cores={}: {v} after {prev}", row.x);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn yield_beats_stall_when_cores_scarce() {
+        let t = hpu_count_table(true);
+        let stall = t.get(1.0, "stall").unwrap();
+        let yld = t.get(1.0, "yield").unwrap();
+        assert!(yld <= stall, "yield={yld} stall={stall}");
+    }
+
+    #[test]
+    fn handler_cost_plateau_then_cliff() {
+        // §4.4.2/Fig. 4: under the line-rate bound (~205 cycles per 4 KiB
+        // packet per HPU × 4 HPUs ≈ 820), extra cycles are hidden by
+        // parallelism; far above it, latency grows.
+        let t = handler_cost_table(true);
+        let base = t.get(0.0, "echo").unwrap();
+        let low = t.get(128.0, "echo").unwrap();
+        let high = t.get(2048.0, "echo").unwrap();
+        assert!(low < base * 1.25, "low-cost handlers hidden: {low} vs {base}");
+        assert!(high > base * 1.5, "over-budget handlers visible: {high} vs {base}");
+    }
+}

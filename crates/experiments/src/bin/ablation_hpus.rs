@@ -1,0 +1,9 @@
+//! HPU-count / yield-on-DMA / handler-cost ablations (DESIGN.md E11).
+use spin_experiments::{emit, ablation, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &[
+        ablation::hpu_count_table(opts.quick),
+        ablation::handler_cost_table(opts.quick),
+    ]);
+}

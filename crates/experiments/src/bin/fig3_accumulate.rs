@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3d: remote accumulate completion time.
+use spin_experiments::{emit, fig3, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &[fig3::accumulate_table(opts.quick)]);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 3b and Fig. 3c: ping-pong half round-trip latency.
+use spin_core::config::NicKind;
+use spin_experiments::{emit, fig3, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    let tables = vec![
+        fig3::pingpong_table(NicKind::Integrated, opts.quick),
+        fig3::pingpong_table(NicKind::Discrete, opts.quick),
+    ];
+    emit(opts, &tables);
+}

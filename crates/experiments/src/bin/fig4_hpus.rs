@@ -1,0 +1,6 @@
+//! Regenerates Fig. 4: HPUs needed for line rate (Little's law).
+use spin_experiments::{emit, fig4, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &[fig4::hpus_table(opts.quick), fig4::headline_table()]);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5a: binomial broadcast latency over process count.
+use spin_experiments::{emit, fig5, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &[fig5::bcast_table(opts.quick)]);
+}

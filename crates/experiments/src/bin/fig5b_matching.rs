@@ -1,0 +1,6 @@
+//! Quantifies Fig. 5b: the four matching-protocol cases.
+use spin_experiments::{emit, fig5b, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &[fig5b::matching_table(opts.quick)]);
+}

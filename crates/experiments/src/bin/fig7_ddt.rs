@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7a: strided datatype receive over block size.
+use spin_experiments::{emit, fig7, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &[fig7::ddt_table(opts.quick)]);
+}

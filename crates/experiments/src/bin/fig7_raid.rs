@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7c: RAID-5 update completion time.
+use spin_experiments::{emit, fig7, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &[fig7::raid_table(opts.quick)]);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 5c: application speedups from offloaded matching.
+use spin_experiments::{emit, table5, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &[table5::apps_table(opts.quick)]);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §5.3 SPC-trace results over the RAID-5 cluster.
+use spin_experiments::{emit, spc, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &[spc::spc_table(opts.quick)]);
+}

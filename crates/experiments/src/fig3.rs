@@ -1,0 +1,88 @@
+//! Figures 3b/3c (ping-pong) and 3d (accumulate).
+
+use crate::pow2_sweep;
+use rayon::prelude::*;
+use spin_apps::accumulate::{self, AccMode};
+use spin_apps::pingpong::{self, PingPongMode};
+use spin_core::config::{MachineConfig, NicKind};
+use spin_sim::stats::Table;
+
+/// Fig. 3b (integrated) or 3c (discrete): half round-trip time over message
+/// size for RDMA / P4 / sPIN store / sPIN stream.
+pub fn pingpong_table(nic: NicKind, quick: bool) -> Table {
+    let sizes = pow2_sweep(2, if quick { 14 } else { 18 }, quick);
+    let rounds = if quick { 2 } else { 5 };
+    let name = match nic {
+        NicKind::Integrated => "fig3b-pingpong-int",
+        NicKind::Discrete => "fig3c-pingpong-dis",
+    };
+    let mut table = Table::new(name, "bytes", "half RTT (us)");
+    let rows: Vec<_> = sizes
+        .par_iter()
+        .map(|&bytes| {
+            let ys: Vec<(String, f64)> = PingPongMode::ALL
+                .iter()
+                .map(|&mode| {
+                    let t = pingpong::run(MachineConfig::paper(nic), mode, bytes, rounds);
+                    (mode.label().to_string(), t)
+                })
+                .collect();
+            (bytes as f64, ys)
+        })
+        .collect();
+    for (x, ys) in rows {
+        table.push(x, ys);
+    }
+    table
+}
+
+/// Fig. 3d: accumulate completion time over size, both NIC types.
+pub fn accumulate_table(quick: bool) -> Table {
+    let sizes = pow2_sweep(4, if quick { 14 } else { 18 }, quick);
+    let mut table = Table::new("fig3d-accumulate", "bytes", "completion (us)");
+    let rows: Vec<_> = sizes
+        .par_iter()
+        .map(|&bytes| {
+            let mut ys = Vec::new();
+            for nic in [NicKind::Integrated, NicKind::Discrete] {
+                for mode in [AccMode::Rdma, AccMode::Spin] {
+                    let t = accumulate::run(MachineConfig::paper(nic), mode, bytes);
+                    ys.push((format!("{}({})", mode.label(), nic.label()), t));
+                }
+            }
+            (bytes as f64, ys)
+        })
+        .collect();
+    for (x, ys) in rows {
+        table.push(x, ys);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pingpong_shape_matches_fig3b() {
+        let t = pingpong_table(NicKind::Integrated, true);
+        // sPIN(stream) beats RDMA at every size; large sizes show the
+        // streaming advantage clearly.
+        for row in &t.rows {
+            let rdma = t.get(row.x, "RDMA").unwrap();
+            let stream = t.get(row.x, "sPIN(stream)").unwrap();
+            assert!(stream < rdma, "at {} B: stream={stream} rdma={rdma}", row.x);
+        }
+    }
+
+    #[test]
+    fn accumulate_shape_matches_fig3d() {
+        let t = accumulate_table(true);
+        // Small discrete: RDMA wins; largest size: sPIN wins on both.
+        let first = t.rows.first().unwrap().x;
+        let last = t.rows.last().unwrap().x;
+        assert!(t.get(first, "RDMA/P4(dis)").unwrap() < t.get(first, "sPIN(dis)").unwrap());
+        assert!(t.get(last, "sPIN(int)").unwrap() < t.get(last, "RDMA/P4(int)").unwrap());
+        assert!(t.get(last, "sPIN(dis)").unwrap() < t.get(last, "RDMA/P4(dis)").unwrap());
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 4: HPUs needed for line rate over packet size and handler time
+//! (the analytic Little's-law model of §4.4.2).
+
+use spin_sim::littles_law::LittlesLaw;
+use spin_sim::stats::Table;
+use spin_sim::time::Time;
+
+/// The Fig. 4 series: handler times 100/200/500/1000 ns over packet sizes
+/// up to 4 KiB.
+pub fn hpus_table(quick: bool) -> Table {
+    let model = LittlesLaw::paper();
+    let step = if quick { 512 } else { 64 };
+    let mut table = Table::new("fig4-hpus-needed", "packet bytes", "HPUs");
+    for s in (step..=4096).step_by(step) {
+        let ys = [100u64, 200, 500, 1000]
+            .iter()
+            .map(|&t| {
+                (
+                    format!("{t}ns"),
+                    model.hpus_needed(Time::from_ns(t), s) as f64,
+                )
+            })
+            .collect();
+        table.push(s as f64, ys);
+    }
+    table
+}
+
+/// The headline numbers quoted in §4.4.2 as a second table.
+pub fn headline_table() -> Table {
+    let model = LittlesLaw::paper();
+    let mut t = Table::new("fig4-headlines", "quantity", "value");
+    t.push(1.0, vec![(
+        "g/G crossover (B)".into(),
+        model.crossover_bytes(),
+    )]);
+    t.push(2.0, vec![(
+        "T^s with 8 HPUs (ns)".into(),
+        model.max_handler_time(8, 1).ns(),
+    )]);
+    t.push(3.0, vec![(
+        "T^l(4096) with 8 HPUs (ns)".into(),
+        model.max_handler_time(8, 4096).ns(),
+    )]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape() {
+        let t = hpus_table(false);
+        // g-bound plateau below 335 B, then 1/s decay: the 1000 ns series
+        // needs ~150 HPUs at small sizes and ~13 at 4 KiB.
+        let small = t.get(64.0, "1000ns").unwrap();
+        let large = t.get(4096.0, "1000ns").unwrap();
+        assert!(small > 100.0, "{small}");
+        assert!((12.0..=14.0).contains(&large), "{large}");
+        // Larger handler time never needs fewer HPUs.
+        for row in &t.rows {
+            assert!(t.get(row.x, "100ns").unwrap() <= t.get(row.x, "1000ns").unwrap());
+        }
+    }
+
+    #[test]
+    fn headlines_match_paper() {
+        let t = headline_table();
+        assert!((t.rows[0].ys[0].1 - 335.0).abs() < 1.0);
+        assert!((t.rows[1].ys[0].1 - 53.6).abs() < 0.5);
+        assert!((t.rows[2].ys[0].1 - 655.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 5a: binomial broadcast latency over process count, 8 B and
+//! 64 KiB, discrete NIC, RDMA vs P4 vs sPIN.
+
+use rayon::prelude::*;
+use spin_apps::bcast::{self, BcastMode};
+use spin_core::config::{MachineConfig, NicKind};
+use spin_sim::stats::Table;
+
+/// Process counts matching the paper's x axis.
+pub fn process_counts(quick: bool) -> Vec<u32> {
+    if quick {
+        vec![4, 16, 64]
+    } else {
+        vec![4, 16, 64, 256, 1024]
+    }
+}
+
+/// The Fig. 5a table: one series per (size, mode).
+pub fn bcast_table(quick: bool) -> Table {
+    let mut table = Table::new("fig5a-bcast-dis", "processes", "latency (us)");
+    let rows: Vec<_> = process_counts(quick)
+        .par_iter()
+        .map(|&p| {
+            let mut ys = Vec::new();
+            for &(bytes, label) in &[(8usize, "8B"), (64 * 1024, "64KiB")] {
+                for mode in BcastMode::ALL {
+                    let t = bcast::run(
+                        MachineConfig::paper(NicKind::Discrete),
+                        mode,
+                        bytes,
+                        p,
+                    );
+                    ys.push((format!("{}({})", mode.label(), label), t));
+                }
+            }
+            (p as f64, ys)
+        })
+        .collect();
+    for (x, ys) in rows {
+        table.push(x, ys);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_shape() {
+        let t = bcast_table(true);
+        for row in &t.rows {
+            // sPIN fastest for both sizes at every P.
+            let spin8 = t.get(row.x, "sPIN(8B)").unwrap();
+            let p48 = t.get(row.x, "P4(8B)").unwrap();
+            let rdma8 = t.get(row.x, "RDMA(8B)").unwrap();
+            assert!(spin8 < p48 && p48 < rdma8, "P={}: {spin8} {p48} {rdma8}", row.x);
+            let spin64 = t.get(row.x, "sPIN(64KiB)").unwrap();
+            let rdma64 = t.get(row.x, "RDMA(64KiB)").unwrap();
+            assert!(spin64 < rdma64, "P={}", row.x);
+        }
+        // Latency grows with P.
+        let first = &t.rows[0];
+        let last = t.rows.last().unwrap();
+        assert!(t.get(last.x, "sPIN(8B)").unwrap() > t.get(first.x, "sPIN(8B)").unwrap());
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 5b: the four matching-protocol cases, quantified.
+//!
+//! The paper's figure is a protocol diagram; this experiment measures the
+//! behaviour it illustrates: receive-completion latency and host copy
+//! traffic for each case (eager/rendezvous × posted-early/posted-late),
+//! host-progressed vs offloaded.
+
+use spin_apps::matching::{default_config, Endpoint};
+use spin_core::config::{MachineConfig, NicKind};
+use spin_core::host::{HostApi, HostProgram};
+use spin_core::world::{SimBuilder, SimOutput};
+use spin_portals::eq::FullEvent;
+use spin_sim::stats::Table;
+use spin_sim::time::Time;
+
+const MEM: usize = 16 << 20;
+
+struct Sender {
+    bytes: usize,
+    offload: bool,
+}
+impl HostProgram for Sender {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        let (cfg, _) = default_config(self.offload, MEM);
+        let mut ep = Endpoint::new(cfg);
+        ep.init(api);
+        let data: Vec<u8> = (0..self.bytes).map(|i| (i % 199) as u8).collect();
+        api.write_host(0, &data);
+        ep.send(api, 1, 7, 0, self.bytes);
+    }
+}
+
+struct Receiver {
+    bytes: usize,
+    offload: bool,
+    post_delay: Option<Time>,
+    ep: Option<Endpoint>,
+}
+impl Receiver {
+    fn post(&mut self, api: &mut HostApi<'_>) {
+        let mut ep = self.ep.take().expect("ep");
+        api.mark("posted");
+        let (_, done) = ep.recv(api, 0, 7, 0, self.bytes);
+        if done.is_some() {
+            api.mark("recv_done");
+        }
+        self.ep = Some(ep);
+    }
+}
+impl HostProgram for Receiver {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        let (cfg, _) = default_config(self.offload, MEM);
+        let mut ep = Endpoint::new(cfg);
+        ep.init(api);
+        self.ep = Some(ep);
+        match self.post_delay {
+            None => self.post(api),
+            Some(d) => api.set_timer(d, 1),
+        }
+    }
+    fn on_timer(&mut self, _t: u64, api: &mut HostApi<'_>) {
+        self.post(api);
+    }
+    fn on_event(&mut self, ev: &FullEvent, api: &mut HostApi<'_>) {
+        let mut ep = self.ep.take().expect("ep");
+        if ep.on_event(ev, api).is_some() {
+            api.mark("recv_done");
+        }
+        self.ep = Some(ep);
+    }
+}
+
+fn run_case(bytes: usize, offload: bool, late: bool) -> SimOutput {
+    let mut cfg = MachineConfig::paper(NicKind::Integrated);
+    cfg.host.mem_size = MEM;
+    cfg.host.cores = 1;
+    SimBuilder::new(cfg)
+        .add_node(Box::new(Sender { bytes, offload }))
+        .add_node(Box::new(Receiver {
+            bytes,
+            offload,
+            post_delay: late.then(|| Time::from_us(50)),
+            ep: None,
+        }))
+        .run()
+}
+
+/// The Fig. 5b table: per case, completion latency (from post or arrival)
+/// and host-memory copy bytes, host vs offloaded.
+pub fn matching_table(_quick: bool) -> Table {
+    let mut table = Table::new(
+        "fig5b-matching",
+        "case",
+        "recv latency (us) / copies (KiB)",
+    );
+    let cases = [
+        ("I/II-eager-posted", 4096usize, false),
+        ("III-eager-late", 4096, true),
+        ("II-rdv-posted", 256 * 1024, false),
+        ("IV-rdv-late", 256 * 1024, true),
+    ];
+    for (i, &(_name, bytes, late)) in cases.iter().enumerate() {
+        let mut ys = Vec::new();
+        for offload in [false, true] {
+            let out = run_case(bytes, offload, late);
+            let done = out.report.mark(1, "recv_done").expect("completed");
+            let posted = out.report.mark(1, "posted").expect("posted");
+            let latency = (done.saturating_sub(posted)).us();
+            let copies = out.report.node_stats[1].host_mem_bytes as f64 / 1024.0;
+            let tag = if offload { "sPIN" } else { "host" };
+            ys.push((format!("{tag}-latency"), latency));
+            ys.push((format!("{tag}-copyKiB"), copies));
+        }
+        table.push(i as f64 + 1.0, ys);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_behave_like_fig5b() {
+        let t = matching_table(true);
+        // Case III (unexpected eager): both pay a copy.
+        assert!(t.get(2.0, "host-copyKiB").unwrap() > 0.0);
+        assert!(t.get(2.0, "sPIN-copyKiB").unwrap() > 0.0);
+        // Cases I/II posted: offloaded path does no host copies.
+        assert_eq!(t.get(1.0, "sPIN-copyKiB").unwrap(), 0.0);
+        assert_eq!(t.get(3.0, "sPIN-copyKiB").unwrap(), 0.0);
+        // Rendezvous posted: offload completes no slower than host.
+        assert!(
+            t.get(3.0, "sPIN-latency").unwrap() <= t.get(3.0, "host-latency").unwrap() * 1.05
+        );
+    }
+}

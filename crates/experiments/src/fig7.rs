@@ -1,0 +1,104 @@
+//! Figure 7a (strided datatype receive) and 7c (RAID-5 update latency).
+
+use crate::pow2_sweep;
+use rayon::prelude::*;
+use spin_apps::datatypes::{self, DdtMode};
+use spin_apps::raid::{self, RaidMode};
+use spin_core::config::{MachineConfig, NicKind};
+use spin_sim::stats::Table;
+
+/// Fig. 7a: completion time of a 4 MiB strided receive over block size
+/// (stride = 2 × blocksize), RDMA vs sPIN. The paper notes int and dis
+/// coincide, but both are emitted for verification.
+pub fn ddt_table(quick: bool) -> Table {
+    let total: usize = if quick { 1 << 20 } else { 1 << 22 };
+    let sizes = pow2_sweep(if quick { 8 } else { 4 }, 18, quick);
+    let mut table = Table::new("fig7a-ddt", "block bytes", "completion (us)");
+    let rows: Vec<_> = sizes
+        .par_iter()
+        .filter(|&&b| b <= total)
+        .map(|&blocksize| {
+            let dt = datatypes::fig7a_dt(total, blocksize);
+            let mut ys = Vec::new();
+            for nic in [NicKind::Integrated, NicKind::Discrete] {
+                for mode in [DdtMode::Rdma, DdtMode::Spin] {
+                    let t = datatypes::run(MachineConfig::paper(nic), mode, dt);
+                    ys.push((format!("{}({})", mode.label(), nic.label()), t));
+                }
+            }
+            (blocksize as f64, ys)
+        })
+        .collect();
+    for (x, ys) in rows {
+        table.push(x, ys);
+    }
+    table
+}
+
+/// Effective unpack bandwidth (GiB/s) for the Fig. 7a annotations.
+pub fn ddt_bandwidth(table: &Table, series: &str, total: usize) -> f64 {
+    let t_us = table
+        .rows
+        .last()
+        .and_then(|r| table.get(r.x, series))
+        .expect("series present");
+    total as f64 / (t_us * 1e-6) / (1u64 << 30) as f64
+}
+
+/// Fig. 7c: RAID-5 update completion time over transferred bytes.
+pub fn raid_table(quick: bool) -> Table {
+    let sizes = pow2_sweep(2, if quick { 14 } else { 18 }, quick);
+    let mut table = Table::new("fig7c-raid", "bytes", "completion (us)");
+    let rows: Vec<_> = sizes
+        .par_iter()
+        .map(|&bytes| {
+            let mut ys = Vec::new();
+            for nic in [NicKind::Integrated, NicKind::Discrete] {
+                for mode in [RaidMode::Rdma, RaidMode::Spin] {
+                    let t = raid::run_fig7c(MachineConfig::paper(nic), mode, bytes);
+                    ys.push((format!("{}({})", mode.label(), nic.label()), t));
+                }
+            }
+            (bytes as f64, ys)
+        })
+        .collect();
+    for (x, ys) in rows {
+        table.push(x, ys);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_shape() {
+        let t = ddt_table(true);
+        let last = t.rows.last().unwrap().x;
+        // Large blocks: sPIN near line rate, RDMA capped by the copy.
+        assert!(t.get(last, "sPIN(int)").unwrap() < t.get(last, "RDMA/P4(int)").unwrap());
+        // Small blocks hurt sPIN (DMA-transaction bound): completion rises
+        // as blocks shrink.
+        let first = t.rows.first().unwrap().x;
+        assert!(t.get(first, "sPIN(int)").unwrap() > t.get(last, "sPIN(int)").unwrap());
+        // Bandwidth at the largest block is well above RDMA's.
+        let total = 1 << 20;
+        let bw_spin = ddt_bandwidth(&t, "sPIN(int)", total);
+        let bw_rdma = ddt_bandwidth(&t, "RDMA/P4(int)", total);
+        assert!(bw_spin > bw_rdma * 1.5, "spin={bw_spin} rdma={bw_rdma}");
+    }
+
+    #[test]
+    fn fig7c_shape() {
+        let t = raid_table(true);
+        let first = t.rows.first().unwrap().x;
+        let last = t.rows.last().unwrap().x;
+        // Comparable for small messages...
+        let ratio = t.get(first, "sPIN(int)").unwrap() / t.get(first, "RDMA/P4(int)").unwrap();
+        assert!(ratio < 1.5, "{ratio}");
+        // ...significantly better for large transfers.
+        assert!(t.get(last, "sPIN(int)").unwrap() < t.get(last, "RDMA/P4(int)").unwrap());
+        assert!(t.get(last, "sPIN(dis)").unwrap() < t.get(last, "RDMA/P4(dis)").unwrap());
+    }
+}

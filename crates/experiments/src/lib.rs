@@ -1,0 +1,84 @@
+//! # spin-experiments — regenerating every table and figure
+//!
+//! One module per evaluation artifact of the paper, each producing
+//! [`spin_sim::stats::Table`]s with the same rows/series the paper reports.
+//! The binaries under `src/bin/` are thin wrappers; `--quick` shrinks
+//! sweeps for smoke runs, `--json` emits machine-readable records.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig3`]    | Fig. 3b/3c ping-pong, Fig. 3d accumulate |
+//! | [`fig4`]    | Fig. 4 HPUs needed (Little's law) |
+//! | [`fig5`]    | Fig. 5a binomial broadcast |
+//! | [`fig5b`]   | Fig. 5b matching-protocol behaviour |
+//! | [`fig7`]    | Fig. 7a strided datatypes, Fig. 7c RAID-5 |
+//! | [`table5`]  | Table 5c application speedups |
+//! | [`spc`]     | §5.3 SPC trace replay |
+//! | [`ablation`]| HPU count / yield-on-DMA / handler-cost ablations |
+
+use spin_sim::stats::Table;
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig5b;
+pub mod fig7;
+pub mod spc;
+pub mod table5;
+
+/// Common experiment options parsed from argv.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Opts {
+    /// Shrink sweeps for fast smoke runs.
+    pub quick: bool,
+    /// Emit JSON instead of text tables.
+    pub json: bool,
+}
+
+impl Opts {
+    /// Parse from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut o = Opts::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => o.quick = true,
+                "--json" => o.json = true,
+                "--help" | "-h" => {
+                    eprintln!("options: --quick (small sweeps)  --json (machine-readable)");
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        o
+    }
+}
+
+/// Print tables per the options.
+pub fn emit(opts: Opts, tables: &[Table]) {
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(tables).expect("json"));
+    } else {
+        for t in tables {
+            println!("{}", t.render());
+        }
+    }
+}
+
+/// Power-of-two sweep `[2^lo .. 2^hi]`, thinned when quick.
+pub fn pow2_sweep(lo: u32, hi: u32, quick: bool) -> Vec<usize> {
+    let step = if quick { 2 } else { 1 };
+    (lo..=hi).step_by(step).map(|e| 1usize << e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps() {
+        assert_eq!(pow2_sweep(2, 5, false), vec![4, 8, 16, 32]);
+        assert_eq!(pow2_sweep(2, 6, true), vec![4, 16, 64]);
+    }
+}

@@ -1,0 +1,55 @@
+//! §5.3: SPC storage-trace replay over the RAID-5 cluster.
+
+use rayon::prelude::*;
+use spin_core::config::{MachineConfig, NicKind};
+use spin_sim::stats::Table;
+use spin_trace::spc::{improvement, paper_traces};
+
+/// The §5.3 table: per trace, sPIN improvement over RDMA for both NIC
+/// kinds (the paper reports 2.8–43.7 %, integrated/financial largest).
+pub fn spc_table(quick: bool) -> Table {
+    let n = if quick { 40 } else { 200 };
+    let traces = paper_traces(n);
+    let mut table = Table::new("spc-traces", "trace#", "sPIN improvement (%)");
+    let rows: Vec<_> = traces
+        .par_iter()
+        .enumerate()
+        .map(|(i, (name, recs))| {
+            let mut ys = Vec::new();
+            for nic in [NicKind::Integrated, NicKind::Discrete] {
+                let imp = improvement(MachineConfig::paper(nic), recs);
+                ys.push((format!("{name}({})", nic.label()), imp * 100.0));
+            }
+            (i as f64 + 1.0, ys)
+        })
+        .collect();
+    for (x, ys) in rows {
+        table.push(x, ys);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spc_improvements_in_paper_band() {
+        let t = spc_table(true);
+        assert_eq!(t.rows.len(), 5);
+        let mut any_positive = 0;
+        for row in &t.rows {
+            for (name, v) in &row.ys {
+                assert!(*v > -10.0 && *v < 60.0, "{name}: {v}%");
+                if *v > 0.0 {
+                    any_positive += 1;
+                }
+            }
+        }
+        assert!(any_positive >= 6, "most replays should improve");
+        // Financial (write-heavy, integrated) shows the largest gains.
+        let fin_int = t.get(1.0, "Financial1(int)").unwrap();
+        let web_int = t.get(3.0, "WebSearch1(int)").unwrap();
+        assert!(fin_int > web_int, "fin={fin_int} web={web_int}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # spin-hpu — the handler processing unit subsystem
+//!
+//! This crate models the NIC-side execution resources of the sPIN
+//! architecture (§4.1–§4.3 of the paper) and replaces the cycle-accurate
+//! gem5 half of the paper's toolchain:
+//!
+//! * [`cost`] — the cycle cost model: 2.5 GHz HPU clock at IPC = 1 with
+//!   documented per-action instruction costs (the paper's "documentation
+//!   should be explicit about instruction costs");
+//! * [`memory`] — HPU scratchpad memory (1-cycle, uncached, linear physical
+//!   addressing) and the node's simulated host memory that DMA targets;
+//! * [`dma`] — the DMA engine between NIC and host, a LogGP channel with the
+//!   §4.3 parameters (discrete: L = 250 ns, 64 GiB/s; integrated: L = 50 ns,
+//!   150 GiB/s) and full contention between competing requests;
+//! * [`pool`] — the HPU core pool with bounded execution contexts; running
+//!   out of contexts triggers Portals flow control (§3.2);
+//! * [`cam`] — the content-addressable channel memory: a matched header
+//!   installs a channel so follow-on packets skip the match unit (30 ns
+//!   header match vs 2 ns CAM hit, §4.2);
+//! * [`ctx`] — the handler execution context: the sandbox a handler runs in,
+//!   recording intra-handler time as cycles are charged and side effects
+//!   (DMA, puts, gets, counter ops) as timestamped actions for the DES.
+//!
+//! Handlers themselves are real Rust functions operating on real packet
+//! bytes; see `spin-core` for the `Handlers` trait and DESIGN.md §1 for why
+//! this reproduces what the paper gets from gem5.
+
+pub mod cam;
+pub mod cost;
+pub mod ctx;
+pub mod dma;
+pub mod memory;
+pub mod pool;
+
+pub use cam::Cam;
+pub use ctx::{
+    CompletionInfo, CompletionRet, HandlerCtx, HandlerRun, HeaderRet, OutAction, PayloadRet,
+};
+pub use dma::{DmaEngine, DmaParams};
+pub use memory::{HostMemory, HpuMemory};
+pub use pool::{HpuConfig, HpuPool};

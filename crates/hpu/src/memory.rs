@@ -1,0 +1,317 @@
+//! Simulated memories.
+//!
+//! * [`HpuMemory`] — the fast NIC-local scratchpad a handler's shared state
+//!   lives in (§2: "handlers can use that memory to communicate"; §4.1:
+//!   uncached, linear physical addressing, single-cycle). Accesses are
+//!   bounds-checked: an out-of-range access is the model's SEGV, which the
+//!   runtime converts into the `SEGV` handler return code of Appendix B.
+//! * [`HostMemory`] — the node's host DRAM that DMA reads/writes target.
+//!   Keeping real bytes here is what lets the reproduction check functional
+//!   correctness (datatype unpack layouts, RAID parity, accumulate values)
+//!   the way the paper's gem5 execution does.
+
+use bytes::Bytes;
+
+/// Error type for out-of-bounds accesses (the model's segmentation
+/// violation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segv {
+    /// Offset of the offending access.
+    pub offset: usize,
+    /// Length of the offending access.
+    pub len: usize,
+    /// Size of the region that was violated.
+    pub region: usize,
+}
+
+impl std::fmt::Display for Segv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "segmentation violation: access [{}..{}) in region of {} bytes",
+            self.offset,
+            self.offset + self.len,
+            self.region
+        )
+    }
+}
+
+impl std::error::Error for Segv {}
+
+macro_rules! typed_accessors {
+    ($($get:ident / $put:ident : $ty:ty),+ $(,)?) => {
+        $(
+            /// Read a little-endian value at `offset`.
+            pub fn $get(&self, offset: usize) -> Result<$ty, Segv> {
+                const N: usize = std::mem::size_of::<$ty>();
+                let b = self.read(offset, N)?;
+                Ok(<$ty>::from_le_bytes(b.try_into().expect("sized read")))
+            }
+            /// Write a little-endian value at `offset`.
+            pub fn $put(&mut self, offset: usize, v: $ty) -> Result<(), Segv> {
+                self.write(offset, &v.to_le_bytes())
+            }
+        )+
+    };
+}
+
+/// NIC-local scratchpad memory for handler shared state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HpuMemory {
+    data: Vec<u8>,
+}
+
+impl HpuMemory {
+    /// Allocate `len` bytes of zeroed scratchpad (PtlHPUAllocMem).
+    pub fn alloc(len: usize) -> Self {
+        HpuMemory {
+            data: vec![0; len],
+        }
+    }
+
+    /// Region size.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the region is zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Overwrite the start of the region with `init` (the
+    /// `hpu_initial_state` mechanism of Appendix B.2).
+    pub fn init_state(&mut self, init: &[u8]) -> Result<(), Segv> {
+        self.write(0, init)
+    }
+
+    fn bounds(&self, offset: usize, len: usize) -> Result<(), Segv> {
+        if offset.checked_add(len).is_some_and(|e| e <= self.data.len()) {
+            Ok(())
+        } else {
+            Err(Segv {
+                offset,
+                len,
+                region: self.data.len(),
+            })
+        }
+    }
+
+    /// Read `len` bytes at `offset`.
+    pub fn read(&self, offset: usize, len: usize) -> Result<&[u8], Segv> {
+        self.bounds(offset, len)?;
+        Ok(&self.data[offset..offset + len])
+    }
+
+    /// Write bytes at `offset`.
+    pub fn write(&mut self, offset: usize, bytes: &[u8]) -> Result<(), Segv> {
+        self.bounds(offset, bytes.len())?;
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    typed_accessors!(
+        get_u64 / put_u64: u64,
+        get_u32 / put_u32: u32,
+        get_i64 / put_i64: i64,
+        get_f64 / put_f64: f64,
+    );
+
+    /// Read a bool stored as one byte.
+    pub fn get_bool(&self, offset: usize) -> Result<bool, Segv> {
+        Ok(self.read(offset, 1)?[0] != 0)
+    }
+
+    /// Write a bool as one byte.
+    pub fn put_bool(&mut self, offset: usize, v: bool) -> Result<(), Segv> {
+        self.write(offset, &[v as u8])
+    }
+
+    /// Atomic compare-and-swap on a u64 (PtlHandlerCAS). Returns whether the
+    /// swap happened; on failure `cmp` is overwritten with the current value
+    /// (matching the paper's DMA CAS semantics for consistency).
+    pub fn cas_u64(&mut self, offset: usize, cmp: &mut u64, swap: u64) -> Result<bool, Segv> {
+        let cur = self.get_u64(offset)?;
+        if cur == *cmp {
+            self.put_u64(offset, swap)?;
+            Ok(true)
+        } else {
+            *cmp = cur;
+            Ok(false)
+        }
+    }
+
+    /// Atomic fetch-and-add on a u64 (PtlHandlerFAdd); returns the value
+    /// before the increment.
+    pub fn fetch_add_u64(&mut self, offset: usize, inc: u64) -> Result<u64, Segv> {
+        let before = self.get_u64(offset)?;
+        self.put_u64(offset, before.wrapping_add(inc))?;
+        Ok(before)
+    }
+}
+
+/// The node's simulated host DRAM.
+#[derive(Debug, Clone)]
+pub struct HostMemory {
+    data: Vec<u8>,
+}
+
+impl HostMemory {
+    /// Allocate `len` bytes of zeroed host memory.
+    pub fn new(len: usize) -> Self {
+        HostMemory {
+            data: vec![0; len],
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn bounds(&self, offset: usize, len: usize) -> Result<(), Segv> {
+        if offset.checked_add(len).is_some_and(|e| e <= self.data.len()) {
+            Ok(())
+        } else {
+            Err(Segv {
+                offset,
+                len,
+                region: self.data.len(),
+            })
+        }
+    }
+
+    /// Read a slice.
+    pub fn read(&self, offset: usize, len: usize) -> Result<&[u8], Segv> {
+        self.bounds(offset, len)?;
+        Ok(&self.data[offset..offset + len])
+    }
+
+    /// Copy a range out as cheap reference-counted bytes (packet payloads).
+    pub fn read_bytes(&self, offset: usize, len: usize) -> Result<Bytes, Segv> {
+        Ok(Bytes::copy_from_slice(self.read(offset, len)?))
+    }
+
+    /// Write a slice.
+    pub fn write(&mut self, offset: usize, bytes: &[u8]) -> Result<(), Segv> {
+        self.bounds(offset, bytes.len())?;
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    typed_accessors!(
+        get_u64 / put_u64: u64,
+        get_u32 / put_u32: u32,
+        get_f64 / put_f64: f64,
+    );
+
+    /// Fill a region with a byte value (workload setup).
+    pub fn fill(&mut self, offset: usize, len: usize, value: u8) -> Result<(), Segv> {
+        self.bounds(offset, len)?;
+        self.data[offset..offset + len].fill(value);
+        Ok(())
+    }
+
+    /// Atomic u64 compare-and-swap (DMA CAS target side).
+    pub fn cas_u64(&mut self, offset: usize, cmp: &mut u64, swap: u64) -> Result<bool, Segv> {
+        let cur = self.get_u64(offset)?;
+        if cur == *cmp {
+            self.put_u64(offset, swap)?;
+            Ok(true)
+        } else {
+            *cmp = cur;
+            Ok(false)
+        }
+    }
+
+    /// Atomic u64 fetch-and-add (DMA fetch-add target side).
+    pub fn fetch_add_u64(&mut self, offset: usize, inc: u64) -> Result<u64, Segv> {
+        let before = self.get_u64(offset)?;
+        self.put_u64(offset, before.wrapping_add(inc))?;
+        Ok(before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpu_memory_rw() {
+        let mut m = HpuMemory::alloc(64);
+        m.put_u64(0, 0xAABB).unwrap();
+        m.put_f64(8, 2.5).unwrap();
+        m.put_bool(16, true).unwrap();
+        assert_eq!(m.get_u64(0).unwrap(), 0xAABB);
+        assert_eq!(m.get_f64(8).unwrap(), 2.5);
+        assert!(m.get_bool(16).unwrap());
+    }
+
+    #[test]
+    fn segv_on_out_of_bounds() {
+        let mut m = HpuMemory::alloc(16);
+        assert!(m.get_u64(9).is_err());
+        assert!(m.put_u64(16, 1).is_err());
+        assert!(m.read(0, 17).is_err());
+        let e = m.read(8, 9).unwrap_err();
+        assert_eq!(e.region, 16);
+        assert!(e.to_string().contains("segmentation violation"));
+        // Overflowing offset+len must not wrap.
+        assert!(m.read(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn init_state() {
+        let mut m = HpuMemory::alloc(8);
+        m.init_state(&[1, 2, 3]).unwrap();
+        assert_eq!(m.read(0, 4).unwrap(), &[1, 2, 3, 0]);
+        assert!(m.init_state(&[0; 9]).is_err());
+    }
+
+    #[test]
+    fn hpu_cas_semantics() {
+        let mut m = HpuMemory::alloc(8);
+        m.put_u64(0, 5).unwrap();
+        let mut cmp = 5;
+        assert!(m.cas_u64(0, &mut cmp, 9).unwrap());
+        assert_eq!(m.get_u64(0).unwrap(), 9);
+        let mut cmp = 5;
+        assert!(!m.cas_u64(0, &mut cmp, 11).unwrap());
+        assert_eq!(cmp, 9, "failed CAS reports current value");
+        assert_eq!(m.get_u64(0).unwrap(), 9);
+    }
+
+    #[test]
+    fn fetch_add() {
+        let mut m = HpuMemory::alloc(8);
+        assert_eq!(m.fetch_add_u64(0, 3).unwrap(), 0);
+        assert_eq!(m.fetch_add_u64(0, 4).unwrap(), 3);
+        assert_eq!(m.get_u64(0).unwrap(), 7);
+    }
+
+    #[test]
+    fn host_memory_rw_and_fill() {
+        let mut m = HostMemory::new(1024);
+        m.write(100, b"hello").unwrap();
+        assert_eq!(m.read(100, 5).unwrap(), b"hello");
+        m.fill(0, 10, 0xFF).unwrap();
+        assert_eq!(m.read(9, 1).unwrap(), &[0xFF]);
+        assert_eq!(m.read(10, 1).unwrap(), &[0]);
+        let b = m.read_bytes(100, 5).unwrap();
+        assert_eq!(&b[..], b"hello");
+    }
+
+    #[test]
+    fn host_atomics() {
+        let mut m = HostMemory::new(64);
+        assert_eq!(m.fetch_add_u64(8, 10).unwrap(), 0);
+        let mut cmp = 10;
+        assert!(m.cas_u64(8, &mut cmp, 20).unwrap());
+        assert_eq!(m.get_u64(8).unwrap(), 20);
+    }
+}

@@ -1,0 +1,29 @@
+//! # spin-net — packet-level LogGOPS network model
+//!
+//! This crate is the reproduction's stand-in for LogGOPSim's network layer
+//! (§4.2 of the sPIN paper): a LogGOPS-parameterized, packet-level model of a
+//! fat-tree InfiniBand-like interconnect.
+//!
+//! The model follows the paper exactly:
+//!
+//! * injection overhead `o = 65 ns` charged on the host CPU,
+//! * inter-message gap `g = 6.7 ns` (150 M messages/s),
+//! * per-byte gap `G = 20 ps/B` (400 Gb/s; the paper prints "2.5 ps" which is
+//!   the per-*bit* figure — every derived quantity in the paper matches
+//!   20 ps/B, see DESIGN.md §1),
+//! * latency from a packet-switched fat-tree of 36-port switches with 50 ns
+//!   switch traversal and 33.4 ns wire delay (10 m per cable).
+//!
+//! Packets occupy the sender's egress link for `max(g, G·s)` — the reciprocal
+//! of the paper's arrival rate `Δ = min{1/g, 1/(G·s)}` — and the receiver's
+//! ingress link likewise, so incast congestion serializes at the endpoints.
+//! The fat-tree fabric itself is modelled as non-blocking (full bisection
+//! bandwidth), which matches LogGOPSim's LogGP abstraction.
+
+pub mod params;
+pub mod topology;
+pub mod transfer;
+
+pub use params::NetParams;
+pub use topology::{NodeId, Topology};
+pub use transfer::{Network, PacketTiming};

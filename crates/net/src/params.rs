@@ -1,0 +1,135 @@
+//! Network model parameters (the LogGOPS vector of §4.2).
+
+use serde::{Deserialize, Serialize};
+use spin_sim::time::{BytesPerTime, Time};
+
+/// LogGOPS network parameters plus the packetization and switch constants of
+/// the paper's target system.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetParams {
+    /// Injection overhead `o`: CPU time to post one operation (65 ns).
+    pub o: Time,
+    /// Inter-message gap `g`: minimum interval between message injections
+    /// (6.7 ns, i.e. 150 M messages/s per NIC).
+    pub g: Time,
+    /// Per-byte gap `G` (20 ps/B, 400 Gb/s).
+    pub big_g: BytesPerTime,
+    /// Maximum transfer unit: payload bytes per packet (4 KiB).
+    pub mtu: usize,
+    /// Per-switch traversal latency (50 ns).
+    pub switch_latency: Time,
+    /// Per-cable propagation delay (33.4 ns for 10 m).
+    pub wire_latency: Time,
+    /// Switch radix used to build the fat tree (36 ports).
+    pub switch_ports: usize,
+}
+
+impl NetParams {
+    /// The paper's future-InfiniBand parameterization (§4.2).
+    pub fn paper() -> Self {
+        NetParams {
+            o: Time::from_ns(65),
+            g: Time::from_ns_f64(6.7),
+            big_g: BytesPerTime::from_ps_per_byte(20),
+            mtu: 4096,
+            switch_latency: Time::from_ns(50),
+            wire_latency: Time::from_ns_f64(33.4),
+            switch_ports: 36,
+        }
+    }
+
+    /// Egress/ingress occupancy of one packet of `bytes` payload:
+    /// `max(g, G·bytes)`.
+    pub fn packet_occupancy(&self, bytes: usize) -> Time {
+        self.g.max(self.big_g.transfer(bytes))
+    }
+
+    /// End-to-end wire+switch latency for a route crossing `switches`
+    /// switches (`switches + 1` cables).
+    pub fn route_latency(&self, switches: u32) -> Time {
+        self.switch_latency * switches as u64 + self.wire_latency * (switches as u64 + 1)
+    }
+
+    /// Number of MTU-sized packets a message of `bytes` is split into
+    /// (at least one: zero-byte messages still send a header packet).
+    pub fn packets_for(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.mtu)
+        }
+    }
+
+    /// Size of the `i`-th packet (0-based) of a `bytes`-sized message.
+    pub fn packet_size(&self, bytes: usize, i: usize) -> usize {
+        let n = self.packets_for(bytes);
+        debug_assert!(i < n);
+        if i + 1 < n {
+            self.mtu
+        } else {
+            bytes - i * self.mtu
+        }
+    }
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let p = NetParams::paper();
+        assert_eq!(p.o, Time::from_ns(65));
+        assert_eq!(p.g.ps(), 6_700);
+        assert_eq!(p.big_g.transfer(1).ps(), 20);
+        assert_eq!(p.mtu, 4096);
+    }
+
+    #[test]
+    fn packet_occupancy_crossover() {
+        let p = NetParams::paper();
+        // Below g/G = 335 B the gap dominates.
+        assert_eq!(p.packet_occupancy(8), p.g);
+        assert_eq!(p.packet_occupancy(334), p.g);
+        // Above it, bandwidth dominates: 4096 B * 20 ps = 81.92 ns.
+        assert_eq!(p.packet_occupancy(4096), Time::from_ps(81_920));
+    }
+
+    #[test]
+    fn route_latency_hops() {
+        let p = NetParams::paper();
+        // One switch: 50 + 2*33.4 = 116.8 ns.
+        assert_eq!(p.route_latency(1), Time::from_ps(116_800));
+        // Five switches (3-level fat tree worst case): 250 + 6*33.4 = 450.4 ns.
+        assert_eq!(p.route_latency(5), Time::from_ps(450_400));
+    }
+
+    #[test]
+    fn packetization() {
+        let p = NetParams::paper();
+        assert_eq!(p.packets_for(0), 1);
+        assert_eq!(p.packets_for(1), 1);
+        assert_eq!(p.packets_for(4096), 1);
+        assert_eq!(p.packets_for(4097), 2);
+        assert_eq!(p.packets_for(65536), 16);
+        assert_eq!(p.packet_size(4097, 0), 4096);
+        assert_eq!(p.packet_size(4097, 1), 1);
+        assert_eq!(p.packet_size(65536, 15), 4096);
+    }
+
+    #[test]
+    fn packet_sizes_sum_to_message() {
+        let p = NetParams::paper();
+        for bytes in [1usize, 100, 4096, 5000, 123_457] {
+            let n = p.packets_for(bytes);
+            let total: usize = (0..n).map(|i| p.packet_size(bytes, i)).sum();
+            assert_eq!(total, bytes);
+        }
+    }
+}

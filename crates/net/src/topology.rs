@@ -1,0 +1,194 @@
+//! Fat-tree topology built from fixed-radix switches (§4.2: "We construct a
+//! fat tree network from 36-port switches").
+//!
+//! The topology's only job in the LogGOPS model is to answer "how many
+//! switches does the route from `a` to `b` cross?", from which the latency
+//! `L` follows. We build the classic folded-Clos construction:
+//!
+//! * up to `k` nodes: a single switch (1 switch on every route);
+//! * up to `k²/2` nodes: two-level leaf–spine, `k/2` nodes per leaf
+//!   (1 switch within a leaf, 3 across);
+//! * up to `k³/4` nodes: three-level fat tree with pods of `k/2` leaves
+//!   (1 / 3 / 5 switches for same-leaf / same-pod / cross-pod routes).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a network endpoint (one NIC+host pair).
+pub type NodeId = u32;
+
+/// A fat-tree topology instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: u32,
+    ports: u32,
+    levels: u32,
+}
+
+impl Topology {
+    /// Build the smallest fat tree of `ports`-radix switches that connects
+    /// `nodes` endpoints.
+    ///
+    /// # Panics
+    /// Panics if `nodes` exceeds the 3-level capacity `k³/4` or if the radix
+    /// is below 2.
+    pub fn fat_tree(nodes: u32, ports: u32) -> Self {
+        assert!(ports >= 2, "switch radix must be at least 2");
+        assert!(nodes >= 1, "need at least one node");
+        let k = ports as u64;
+        let levels = if nodes as u64 <= k {
+            1
+        } else if nodes as u64 <= k * k / 2 {
+            2
+        } else if nodes as u64 <= k * k * k / 4 {
+            3
+        } else {
+            panic!(
+                "{} nodes exceed the 3-level fat-tree capacity of {} with {}-port switches",
+                nodes,
+                k * k * k / 4,
+                ports
+            );
+        };
+        Topology {
+            nodes,
+            ports,
+            levels,
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Number of tree levels (1, 2, or 3).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Endpoints attached to each leaf switch (`k` for 1 level, `k/2` above).
+    pub fn nodes_per_leaf(&self) -> u32 {
+        if self.levels == 1 {
+            self.ports
+        } else {
+            self.ports / 2
+        }
+    }
+
+    /// Endpoints per pod (only meaningful at 3 levels: `(k/2)²`).
+    pub fn nodes_per_pod(&self) -> u32 {
+        match self.levels {
+            1 => self.nodes,
+            2 => self.nodes, // a 2-level tree is a single "pod"
+            _ => (self.ports / 2) * (self.ports / 2),
+        }
+    }
+
+    /// Number of switches the route from `a` to `b` traverses.
+    /// Self-routes cross zero switches (NIC-local loopback).
+    pub fn route_switches(&self, a: NodeId, b: NodeId) -> u32 {
+        assert!(a < self.nodes && b < self.nodes, "node id out of range");
+        if a == b {
+            return 0;
+        }
+        let leaf_a = a / self.nodes_per_leaf();
+        let leaf_b = b / self.nodes_per_leaf();
+        if leaf_a == leaf_b {
+            return 1;
+        }
+        if self.levels == 2 {
+            return 3;
+        }
+        let pod_a = a / self.nodes_per_pod();
+        let pod_b = b / self.nodes_per_pod();
+        if pod_a == pod_b {
+            3
+        } else {
+            5
+        }
+    }
+
+    /// Total number of switches in the fabric (for reporting).
+    pub fn switch_count(&self) -> u32 {
+        let k = self.ports;
+        match self.levels {
+            1 => 1,
+            2 => {
+                let leaves = self.nodes.div_ceil(k / 2);
+                leaves + leaves.div_ceil(2).max(1)
+            }
+            _ => {
+                let pods = self.nodes.div_ceil(self.nodes_per_pod());
+                pods * k + (k / 2) * (k / 2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_up_to_radix() {
+        let t = Topology::fat_tree(36, 36);
+        assert_eq!(t.levels(), 1);
+        assert_eq!(t.route_switches(0, 35), 1);
+        assert_eq!(t.route_switches(5, 5), 0);
+    }
+
+    #[test]
+    fn two_level_tree() {
+        let t = Topology::fat_tree(64, 36);
+        assert_eq!(t.levels(), 2);
+        // 18 nodes per leaf.
+        assert_eq!(t.nodes_per_leaf(), 18);
+        assert_eq!(t.route_switches(0, 17), 1);
+        assert_eq!(t.route_switches(0, 18), 3);
+        assert_eq!(t.route_switches(20, 40), 3);
+    }
+
+    #[test]
+    fn three_level_tree() {
+        let t = Topology::fat_tree(1024, 36);
+        assert_eq!(t.levels(), 3);
+        assert_eq!(t.nodes_per_leaf(), 18);
+        assert_eq!(t.nodes_per_pod(), 324);
+        // Same leaf.
+        assert_eq!(t.route_switches(0, 17), 1);
+        // Same pod, different leaf.
+        assert_eq!(t.route_switches(0, 100), 3);
+        // Different pod.
+        assert_eq!(t.route_switches(0, 900), 5);
+    }
+
+    #[test]
+    fn capacities() {
+        // 2-level capacity with k=36 is 648; 649 forces 3 levels.
+        assert_eq!(Topology::fat_tree(648, 36).levels(), 2);
+        assert_eq!(Topology::fat_tree(649, 36).levels(), 3);
+        // 3-level capacity is 11664.
+        assert_eq!(Topology::fat_tree(11_664, 36).levels(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn over_capacity_panics() {
+        Topology::fat_tree(11_665, 36);
+    }
+
+    #[test]
+    fn routes_are_symmetric() {
+        let t = Topology::fat_tree(700, 36);
+        for (a, b) in [(0u32, 1), (0, 30), (10, 400), (650, 20), (333, 334)] {
+            assert_eq!(t.route_switches(a, b), t.route_switches(b, a));
+        }
+    }
+
+    #[test]
+    fn switch_count_sane() {
+        assert_eq!(Topology::fat_tree(30, 36).switch_count(), 1);
+        assert!(Topology::fat_tree(648, 36).switch_count() >= 36);
+        assert!(Topology::fat_tree(1024, 36).switch_count() > 100);
+    }
+}

@@ -1,0 +1,325 @@
+//! Counting events and triggered operations — the Portals 4 "network
+//! instruction set" (§3.1) that the paper's P4 baselines use.
+//!
+//! A counting event (CT) is a NIC-resident counter incremented by completed
+//! operations. Triggered operations are pre-set-up communications that fire
+//! when an attached counter reaches a threshold, letting a chain of
+//! communication proceed with no host involvement (e.g. the P4 ping-pong
+//! reply and the P4 binomial broadcast). The paper's point is that this
+//! mechanism can only *launch* pre-described operations — it cannot look at
+//! payload data — which is exactly the limitation sPIN removes.
+
+use crate::types::{AckReq, MatchBits, ProcessId, UserHeader};
+
+/// Handle to an allocated counting event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtHandle(pub u32);
+
+/// The value of a counting event: successes and failures are counted
+/// separately (PTL_CT_*).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtEvent {
+    /// Completed operations.
+    pub success: u64,
+    /// Failed operations.
+    pub failure: u64,
+}
+
+/// An operation that fires when its counter reaches a threshold.
+#[derive(Debug, Clone)]
+pub struct TriggeredOp {
+    /// Fire when `success >= threshold`.
+    pub threshold: u64,
+    /// What to launch.
+    pub action: TriggeredAction,
+}
+
+/// Actions a counter can trigger. Offsets are into the node's simulated
+/// host memory (the NIC runtime resolves and DMAs them).
+#[derive(Debug, Clone)]
+pub enum TriggeredAction {
+    /// PtlTriggeredPut: send `length` bytes from host memory at `local_offset`.
+    Put {
+        /// Portal table entry addressed at the target.
+        pt: u32,
+        /// Source offset in host memory.
+        local_offset: usize,
+        /// Bytes to send.
+        length: usize,
+        /// Destination process.
+        target: ProcessId,
+        /// Match bits for the target's match list.
+        match_bits: MatchBits,
+        /// Offset at the target ME.
+        remote_offset: usize,
+        /// Out-of-band header data.
+        hdr_data: u64,
+        /// User header prepended to the payload.
+        user_hdr: UserHeader,
+        /// Ack requested from the target.
+        ack: AckReq,
+    },
+    /// PtlTriggeredGet: fetch `length` bytes from the target into host memory.
+    Get {
+        /// Portal table entry addressed at the target.
+        pt: u32,
+        /// Destination offset in local host memory.
+        local_offset: usize,
+        /// Bytes to fetch.
+        length: usize,
+        /// Process to read from.
+        target: ProcessId,
+        /// Match bits at the target.
+        match_bits: MatchBits,
+        /// Offset at the target ME.
+        remote_offset: usize,
+    },
+    /// PtlTriggeredCTInc: increment another counter (builds dependency
+    /// chains, e.g. multi-phase collectives).
+    CtInc {
+        /// Counter to increment.
+        ct: CtHandle,
+        /// Increment amount.
+        increment: u64,
+    },
+    /// PtlTriggeredCTSet: overwrite another counter.
+    CtSet {
+        /// Counter to set.
+        ct: CtHandle,
+        /// New success value.
+        value: u64,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct Counter {
+    value: CtEvent,
+    pending: Vec<TriggeredOp>,
+}
+
+/// Table of counting events for one NI, with triggered-op scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct CtTable {
+    counters: Vec<Counter>,
+}
+
+impl CtTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a counter (PtlCTAlloc), initialized to zero.
+    pub fn alloc(&mut self) -> CtHandle {
+        self.counters.push(Counter::default());
+        CtHandle(self.counters.len() as u32 - 1)
+    }
+
+    /// Number of allocated counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counters exist.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Read a counter (PtlCTGet).
+    pub fn get(&self, h: CtHandle) -> CtEvent {
+        self.counters[h.0 as usize].value
+    }
+
+    /// Attach a triggered operation (PtlTriggered*). If the threshold is
+    /// already met the action fires immediately and is returned.
+    #[must_use = "returned actions must be executed by the NIC"]
+    pub fn append_triggered(&mut self, h: CtHandle, op: TriggeredOp) -> Vec<TriggeredAction> {
+        let c = &mut self.counters[h.0 as usize];
+        if c.value.success >= op.threshold {
+            vec![op.action]
+        } else {
+            c.pending.push(op);
+            Vec::new()
+        }
+    }
+
+    /// Increment a counter's success count (PtlCTInc / operation completion)
+    /// and collect every triggered action whose threshold is now met, in
+    /// threshold order (ties in append order).
+    #[must_use = "returned actions must be executed by the NIC"]
+    pub fn inc(&mut self, h: CtHandle, by: u64) -> Vec<TriggeredAction> {
+        let c = &mut self.counters[h.0 as usize];
+        c.value.success += by;
+        Self::drain_ready(c)
+    }
+
+    /// Record a failure (does not fire triggered ops).
+    pub fn inc_failure(&mut self, h: CtHandle) {
+        self.counters[h.0 as usize].value.failure += 1;
+    }
+
+    /// Set a counter (PtlCTSet); may fire triggered ops if raised past
+    /// thresholds.
+    #[must_use = "returned actions must be executed by the NIC"]
+    pub fn set(&mut self, h: CtHandle, value: u64) -> Vec<TriggeredAction> {
+        let c = &mut self.counters[h.0 as usize];
+        c.value.success = value;
+        Self::drain_ready(c)
+    }
+
+    /// Pending (unfired) triggered operations on a counter.
+    pub fn pending_triggered(&self, h: CtHandle) -> usize {
+        self.counters[h.0 as usize].pending.len()
+    }
+
+    fn drain_ready(c: &mut Counter) -> Vec<TriggeredAction> {
+        let mut ready: Vec<(u64, usize)> = c
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| c.value.success >= op.threshold)
+            .map(|(i, op)| (op.threshold, i))
+            .collect();
+        // Fire in threshold order; stable on ties (sort_by_key is stable).
+        ready.sort_by_key(|&(t, _)| t);
+        let indices: Vec<usize> = ready.iter().map(|&(_, i)| i).collect();
+        let mut out = Vec::with_capacity(indices.len());
+        // Remove back-to-front to keep indices valid.
+        let mut sorted_desc = indices.clone();
+        sorted_desc.sort_unstable_by(|a, b| b.cmp(a));
+        let mut removed: Vec<(usize, TriggeredOp)> = Vec::with_capacity(indices.len());
+        for i in sorted_desc {
+            removed.push((i, c.pending.remove(i)));
+        }
+        for &(_, orig_idx) in ready.iter() {
+            let pos = removed
+                .iter()
+                .position(|(i, _)| *i == orig_idx)
+                .expect("removed op present");
+            out.push(removed[pos].1.action.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ct_inc_action(ct: CtHandle) -> TriggeredAction {
+        TriggeredAction::CtInc { ct, increment: 1 }
+    }
+
+    #[test]
+    fn alloc_and_count() {
+        let mut t = CtTable::new();
+        let h = t.alloc();
+        assert_eq!(t.get(h).success, 0);
+        let fired = t.inc(h, 3);
+        assert!(fired.is_empty());
+        assert_eq!(t.get(h).success, 3);
+        t.inc_failure(h);
+        assert_eq!(t.get(h).failure, 1);
+    }
+
+    #[test]
+    fn trigger_fires_at_threshold() {
+        let mut t = CtTable::new();
+        let h = t.alloc();
+        let other = t.alloc();
+        let fired = t.append_triggered(
+            h,
+            TriggeredOp {
+                threshold: 2,
+                action: ct_inc_action(other),
+            },
+        );
+        assert!(fired.is_empty());
+        assert!(t.inc(h, 1).is_empty());
+        let fired = t.inc(h, 1);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(t.pending_triggered(h), 0);
+    }
+
+    #[test]
+    fn trigger_fires_immediately_if_already_met() {
+        let mut t = CtTable::new();
+        let h = t.alloc();
+        let other = t.alloc();
+        let _ = t.inc(h, 5);
+        let fired = t.append_triggered(
+            h,
+            TriggeredOp {
+                threshold: 3,
+                action: ct_inc_action(other),
+            },
+        );
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn multiple_triggers_fire_in_threshold_order() {
+        let mut t = CtTable::new();
+        let h = t.alloc();
+        let a = t.alloc();
+        let b = t.alloc();
+        let _ = t.append_triggered(
+            h,
+            TriggeredOp {
+                threshold: 4,
+                action: ct_inc_action(b),
+            },
+        );
+        let _ = t.append_triggered(
+            h,
+            TriggeredOp {
+                threshold: 2,
+                action: ct_inc_action(a),
+            },
+        );
+        let fired = t.inc(h, 4);
+        assert_eq!(fired.len(), 2);
+        match (&fired[0], &fired[1]) {
+            (TriggeredAction::CtInc { ct: c1, .. }, TriggeredAction::CtInc { ct: c2, .. }) => {
+                assert_eq!(*c1, a);
+                assert_eq!(*c2, b);
+            }
+            other => panic!("unexpected actions {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_can_fire() {
+        let mut t = CtTable::new();
+        let h = t.alloc();
+        let other = t.alloc();
+        let _ = t.append_triggered(
+            h,
+            TriggeredOp {
+                threshold: 10,
+                action: ct_inc_action(other),
+            },
+        );
+        assert_eq!(t.set(h, 10).len(), 1);
+    }
+
+    #[test]
+    fn unmet_triggers_stay_pending() {
+        let mut t = CtTable::new();
+        let h = t.alloc();
+        let other = t.alloc();
+        for thr in [5u64, 10, 15] {
+            let _ = t.append_triggered(
+                h,
+                TriggeredOp {
+                    threshold: thr,
+                    action: ct_inc_action(other),
+                },
+            );
+        }
+        assert_eq!(t.inc(h, 7).len(), 1);
+        assert_eq!(t.pending_triggered(h), 2);
+        assert_eq!(t.inc(h, 100).len(), 2);
+        assert_eq!(t.pending_triggered(h), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Full event queues (§3.1: "Completion notification occurs through counting
+//! events or appending a full event to an event queue, which is also used
+//! for error notification").
+
+use crate::me::MeHandle;
+use crate::types::{MatchBits, ProcessId};
+use std::collections::VecDeque;
+
+/// Handle to an allocated event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EqHandle(pub u32);
+
+/// Kinds of full events the simulator delivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A put landed in a priority-list ME.
+    Put,
+    /// A put landed in an overflow-list ME (unexpected message).
+    PutOverflow,
+    /// A get was served from local memory.
+    Get,
+    /// The reply to a get arrived (initiator side).
+    Reply,
+    /// An ack for a put arrived (initiator side).
+    Ack,
+    /// A send completed locally (MD reusable).
+    Send,
+    /// An atomic operation was applied.
+    Atomic,
+    /// A matching receive was consumed by PtlMESearch.
+    Search,
+    /// The portal table entry was disabled by flow control (§3.2).
+    PtDisabled,
+    /// A sPIN handler raised an error (FAIL/SEGV, Appendix B.3–B.5).
+    HandlerError,
+}
+
+/// A full event (`ptl_event_t` subset carrying what the experiments need).
+#[derive(Debug, Clone)]
+pub struct FullEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Peer process (initiator for target events, target for initiator
+    /// events).
+    pub peer: ProcessId,
+    /// Match bits of the operation.
+    pub match_bits: MatchBits,
+    /// Requested length.
+    pub rlength: usize,
+    /// Accepted ("matched") length.
+    pub mlength: usize,
+    /// Offset the data landed at (within the ME region).
+    pub offset: usize,
+    /// Out-of-band header data from the initiator.
+    pub hdr_data: u64,
+    /// The ME involved (target events).
+    pub me: Option<MeHandle>,
+    /// User pointer from the ME/MD.
+    pub user_ptr: u64,
+    /// Failure code; `0` is success. Only the first handler error per
+    /// message is reported (Appendix B.3).
+    pub ni_fail: u32,
+}
+
+impl FullEvent {
+    /// A minimal success event.
+    pub fn simple(kind: EventKind, peer: ProcessId, match_bits: MatchBits, len: usize) -> Self {
+        FullEvent {
+            kind,
+            peer,
+            match_bits,
+            rlength: len,
+            mlength: len,
+            offset: 0,
+            hdr_data: 0,
+            me: None,
+            user_ptr: 0,
+            ni_fail: 0,
+        }
+    }
+}
+
+/// A bounded event queue. Overflow drops the event and latches an error
+/// flag, as a real Portals implementation signals `PTL_EQ_DROPPED`.
+#[derive(Debug, Clone)]
+pub struct EventQueue {
+    events: VecDeque<FullEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventQueue {
+    /// A queue holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event queue capacity must be positive");
+        EventQueue {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event; returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, ev: FullEvent) -> bool {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.events.push_back(ev);
+        true
+    }
+
+    /// Pop the oldest event (PtlEQGet).
+    pub fn pop(&mut self) -> Option<FullEvent> {
+        self.events.pop_front()
+    }
+
+    /// Peek without consuming.
+    pub fn peek(&self) -> Option<&FullEvent> {
+        self.events.front()
+    }
+
+    /// Events waiting.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events lost to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = EventQueue::new(16);
+        for i in 0..5 {
+            q.push(FullEvent::simple(EventKind::Put, i, i as u64, 8));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().peer, i);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut q = EventQueue::new(2);
+        assert!(q.push(FullEvent::simple(EventKind::Put, 0, 0, 0)));
+        assert!(q.push(FullEvent::simple(EventKind::Put, 1, 0, 0)));
+        assert!(!q.push(FullEvent::simple(EventKind::Put, 2, 0, 0)));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new(4);
+        q.push(FullEvent::simple(EventKind::Ack, 9, 1, 4));
+        assert_eq!(q.peek().unwrap().peer, 9);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        EventQueue::new(0);
+    }
+}

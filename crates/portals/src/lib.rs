@@ -1,0 +1,38 @@
+//! # spin-portals — a Portals 4 substrate
+//!
+//! The sPIN paper (§3) demonstrates the sPIN model on top of Portals 4
+//! because Portals offers receiver-side matching, OS bypass, protection, and
+//! NIC resource management — and because its two "network instruction set"
+//! mechanisms (triggered operations and locally-managed offsets) are the
+//! baseline that sPIN generalizes. This crate implements that substrate as
+//! NIC-resident data structures:
+//!
+//! * **matching entries** (MEs) with 64-bit match/ignore bits, priority and
+//!   overflow lists, `USE_ONCE` semantics and locally-managed offsets
+//!   ([`me`]),
+//! * **memory descriptors** (MDs) describing initiator-side memory ([`md`]),
+//! * **counting events** with attached **triggered operations** ([`ct`]) —
+//!   the Portals 4 NISA used for the P4 baselines in every experiment,
+//! * **event queues** delivering full events to the host ([`eq`]),
+//! * a **logical network interface** tying them together with portal-table
+//!   flow control and resource limits ([`ni`]).
+//!
+//! The structures are pure state machines: they know nothing about simulated
+//! time. The NIC model in `spin-core` drives them and charges time (30 ns
+//! header match, 2 ns CAM hit, DMA costs) around the calls.
+
+pub mod ct;
+pub mod eq;
+pub mod md;
+pub mod me;
+pub mod ni;
+pub mod types;
+
+pub use ct::{CtEvent, CtHandle, TriggeredAction, TriggeredOp};
+pub use eq::{EqHandle, EventKind, EventQueue, FullEvent};
+pub use md::{MdHandle, MemoryDescriptor};
+pub use me::{
+    simple_me, HandlerRef, ListKind, MatchEntry, MatchList, MatchOutcome, MeHandle, MeOptions,
+};
+pub use ni::{HeaderDisposition, NiLimits, PortalTableEntry, PortalsNi, PtIndex};
+pub use types::{AckReq, MatchBits, OpKind, Packet, ProcessId, PtlHeader, UserHeader};

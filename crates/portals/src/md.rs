@@ -1,0 +1,127 @@
+//! Memory descriptors: the initiator-side abstraction of memory to be sent
+//! (§3.1 — "Memory descriptors (MDs) form an abstraction of memory to be
+//! sent; counters and event queues are attached to it").
+
+/// Handle to a bound memory descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MdHandle(pub u32);
+
+/// A memory descriptor over a contiguous region of the process's (simulated)
+/// host memory.
+#[derive(Debug, Clone)]
+pub struct MemoryDescriptor {
+    /// Start offset in the node's simulated host memory.
+    pub start: usize,
+    /// Region length in bytes.
+    pub length: usize,
+    /// Event queue receiving SEND/ACK/REPLY events for operations on this MD
+    /// (None = silent).
+    pub eq: Option<u32>,
+    /// Counting event incremented on completion of operations on this MD.
+    pub ct: Option<u32>,
+}
+
+impl MemoryDescriptor {
+    /// Descriptor over `[start, start+length)` with no EQ/CT attached.
+    pub fn plain(start: usize, length: usize) -> Self {
+        MemoryDescriptor {
+            start,
+            length,
+            eq: None,
+            ct: None,
+        }
+    }
+
+    /// Validate an access of `len` bytes at `offset` into the region.
+    /// Returns the absolute host-memory offset, or `None` if out of bounds —
+    /// Portals full memory protection (§3.1).
+    pub fn check(&self, offset: usize, len: usize) -> Option<usize> {
+        if offset
+            .checked_add(len)
+            .is_some_and(|end| end <= self.length)
+        {
+            Some(self.start + offset)
+        } else {
+            None
+        }
+    }
+}
+
+/// Table of bound MDs for one network interface.
+#[derive(Debug, Clone, Default)]
+pub struct MdTable {
+    mds: Vec<Option<MemoryDescriptor>>,
+}
+
+impl MdTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a descriptor (PtlMDBind).
+    pub fn bind(&mut self, md: MemoryDescriptor) -> MdHandle {
+        if let Some(idx) = self.mds.iter().position(Option::is_none) {
+            self.mds[idx] = Some(md);
+            MdHandle(idx as u32)
+        } else {
+            self.mds.push(Some(md));
+            MdHandle(self.mds.len() as u32 - 1)
+        }
+    }
+
+    /// Release a descriptor (PtlMDRelease). Returns whether it was bound.
+    pub fn release(&mut self, h: MdHandle) -> bool {
+        match self.mds.get_mut(h.0 as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Look up a bound descriptor.
+    pub fn get(&self, h: MdHandle) -> Option<&MemoryDescriptor> {
+        self.mds.get(h.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Number of live descriptors.
+    pub fn len(&self) -> usize {
+        self.mds.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Whether no descriptors are bound.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_checking() {
+        let md = MemoryDescriptor::plain(1000, 100);
+        assert_eq!(md.check(0, 100), Some(1000));
+        assert_eq!(md.check(50, 50), Some(1050));
+        assert_eq!(md.check(50, 51), None);
+        assert_eq!(md.check(usize::MAX, 1), None);
+    }
+
+    #[test]
+    fn bind_release_reuses_slots() {
+        let mut t = MdTable::new();
+        let a = t.bind(MemoryDescriptor::plain(0, 10));
+        let b = t.bind(MemoryDescriptor::plain(10, 10));
+        assert_eq!(t.len(), 2);
+        assert!(t.release(a));
+        assert!(!t.release(a));
+        let c = t.bind(MemoryDescriptor::plain(20, 10));
+        // Slot reuse: c takes a's index.
+        assert_eq!(c, a);
+        assert_eq!(t.get(b).unwrap().start, 10);
+        assert_eq!(t.get(c).unwrap().start, 20);
+    }
+}

@@ -1,0 +1,313 @@
+//! The discrete-event engine.
+//!
+//! A minimal, deterministic event core in the style of LogGOPSim's central
+//! queue: events are `(time, seq, payload)` triples ordered by time with a
+//! monotonically increasing sequence number as tie-break, so same-time events
+//! execute in insertion order and every simulation is reproducible.
+//!
+//! The engine is generic over the event payload `E` and the world state `W`.
+//! Dispatch happens through a closure (or the [`Dispatch`] trait) so that the
+//! crate that owns the world — `spin-core` — can match on its own event enum
+//! without this crate knowing anything about NICs or hosts.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for a particular simulated time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events.
+///
+/// This is the part of the engine that event handlers get mutable access to
+/// while an event is being dispatched, so handlers can post follow-up events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: Time,
+    seq: u64,
+    executed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the event being dispatched,
+    /// or of the last dispatched event between dispatches).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time — scheduling into the past
+    /// is always a model bug and silent reordering would corrupt causality.
+    pub fn post_at(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Schedule `event` after a `delay` relative to now.
+    #[inline]
+    pub fn post_in(&mut self, delay: Time, event: E) {
+        self.post_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at the current time (after all other events already
+    /// queued for this instant).
+    #[inline]
+    pub fn post_now(&mut self, event: E) {
+        self.post_at(self.now, event);
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now);
+        self.now = s.time;
+        self.executed += 1;
+        Some((s.time, s.event))
+    }
+}
+
+/// Dispatch trait for types that react to events; an alternative to passing a
+/// closure to [`Engine::run_with`].
+pub trait Dispatch<E> {
+    /// Handle one event at time `now`, possibly posting follow-ups.
+    fn dispatch(&mut self, queue: &mut EventQueue<E>, now: Time, event: E);
+}
+
+/// The simulation driver: owns the queue and runs it to quiescence.
+#[derive(Debug, Default)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    /// Safety valve: abort after this many events (0 = unlimited). Protects
+    /// tests against accidental event storms (e.g. a retransmit loop).
+    pub max_events: u64,
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine with no event limit.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            max_events: 0,
+        }
+    }
+
+    /// A fresh engine that panics after `max_events` dispatches.
+    pub fn with_limit(max_events: u64) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            max_events,
+        }
+    }
+
+    /// Access the queue (e.g. to seed initial events before running).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Current time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Events executed.
+    pub fn executed(&self) -> u64 {
+        self.queue.executed()
+    }
+
+    /// Run until the queue is empty, dispatching through `world`.
+    /// Returns the time of the last executed event.
+    pub fn run<W: Dispatch<E>>(&mut self, world: &mut W) -> Time {
+        self.run_with(|q, now, ev| world.dispatch(q, now, ev))
+    }
+
+    /// Run until the queue is empty, dispatching through a closure.
+    pub fn run_with(&mut self, mut f: impl FnMut(&mut EventQueue<E>, Time, E)) -> Time {
+        while let Some((now, ev)) = self.queue.pop() {
+            f(&mut self.queue, now, ev);
+            if self.max_events != 0 && self.queue.executed() > self.max_events {
+                panic!(
+                    "event limit exceeded ({} events executed, {} pending) — runaway simulation?",
+                    self.queue.executed(),
+                    self.queue.pending()
+                );
+            }
+        }
+        self.queue.now()
+    }
+
+    /// Run until the queue is empty or `deadline` passes (events after the
+    /// deadline stay queued). Returns the last dispatched time.
+    pub fn run_until(
+        &mut self,
+        deadline: Time,
+        mut f: impl FnMut(&mut EventQueue<E>, Time, E),
+    ) -> Time {
+        loop {
+            match self.queue.heap.peek() {
+                Some(s) if s.time <= deadline => {}
+                _ => break,
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            f(&mut self.queue, now, ev);
+        }
+        self.queue.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::NS;
+
+    #[test]
+    fn events_execute_in_time_order() {
+        let mut engine = Engine::new();
+        engine.queue_mut().post_at(Time::from_ns(30), 3u32);
+        engine.queue_mut().post_at(Time::from_ns(10), 1);
+        engine.queue_mut().post_at(Time::from_ns(20), 2);
+        let mut seen = Vec::new();
+        engine.run_with(|_, now, ev| seen.push((now.ps() / NS, ev)));
+        assert_eq!(seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut engine = Engine::new();
+        for i in 0..100u32 {
+            engine.queue_mut().post_at(Time::from_ns(5), i);
+        }
+        let mut seen = Vec::new();
+        engine.run_with(|_, _, ev| seen.push(ev));
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_post_followups() {
+        let mut engine = Engine::new();
+        engine.queue_mut().post_at(Time::ZERO, 0u32);
+        let mut count = 0;
+        let end = engine.run_with(|q, _, ev| {
+            count += 1;
+            if ev < 5 {
+                q.post_in(Time::from_ns(7), ev + 1);
+            }
+        });
+        assert_eq!(count, 6);
+        assert_eq!(end, Time::from_ns(35));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut engine = Engine::new();
+        engine.queue_mut().post_at(Time::from_ns(10), 0u32);
+        engine.run_with(|q, _, _| {
+            q.post_at(Time::from_ns(1), 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit exceeded")]
+    fn event_limit_catches_runaway() {
+        let mut engine = Engine::with_limit(100);
+        engine.queue_mut().post_at(Time::ZERO, 0u32);
+        engine.run_with(|q, _, ev| q.post_in(Time::from_ns(1), ev));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut engine = Engine::new();
+        for i in 1..=10u64 {
+            engine.queue_mut().post_at(Time::from_ns(i * 10), i);
+        }
+        let mut seen = Vec::new();
+        engine.run_until(Time::from_ns(50), |_, _, ev| seen.push(ev));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(engine.queue.pending(), 5);
+    }
+
+    #[test]
+    fn dispatch_trait_works() {
+        struct Counter(u64);
+        impl Dispatch<u32> for Counter {
+            fn dispatch(&mut self, q: &mut EventQueue<u32>, _now: Time, ev: u32) {
+                self.0 += 1;
+                if ev > 0 {
+                    q.post_in(Time::from_ns(1), ev - 1);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.queue_mut().post_at(Time::ZERO, 4u32);
+        let mut w = Counter(0);
+        engine.run(&mut w);
+        assert_eq!(w.0, 5);
+    }
+}

@@ -1,0 +1,181 @@
+//! Text Gantt-chart recorder.
+//!
+//! The paper's artifact appendix (C.3) shows per-rank trace diagrams with
+//! lanes for CPU, NIC, DMA, and each HPU. This module records labelled busy
+//! intervals on named lanes and renders them as ASCII timelines, which the
+//! examples use to visualize pipelining (e.g. streaming broadcast packets
+//! leaving before the message fully arrived).
+
+use crate::time::Time;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One busy interval on a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Start of the interval.
+    pub start: Time,
+    /// End of the interval.
+    pub end: Time,
+    /// Single-character glyph drawn across the interval.
+    pub glyph: char,
+    /// Free-form annotation (shown in the span listing).
+    pub label: String,
+}
+
+/// Records spans on `(rank, lane)` pairs and renders them.
+#[derive(Debug, Default, Clone)]
+pub struct Gantt {
+    // BTreeMap keeps lane order stable: sorted by rank then lane name.
+    lanes: BTreeMap<(u32, String), Vec<Span>>,
+    enabled: bool,
+}
+
+impl Gantt {
+    /// A recorder that actually records.
+    pub fn enabled() -> Self {
+        Gantt {
+            lanes: BTreeMap::new(),
+            enabled: true,
+        }
+    }
+
+    /// A no-op recorder (zero overhead in big runs).
+    pub fn disabled() -> Self {
+        Gantt::default()
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a busy interval.
+    pub fn record(&mut self, rank: u32, lane: &str, start: Time, end: Time, glyph: char, label: impl Into<String>) {
+        if !self.enabled || end <= start {
+            return;
+        }
+        self.lanes
+            .entry((rank, lane.to_string()))
+            .or_default()
+            .push(Span {
+                start,
+                end,
+                glyph,
+                label: label.into(),
+            });
+    }
+
+    /// Number of spans recorded.
+    pub fn span_count(&self) -> usize {
+        self.lanes.values().map(|v| v.len()).sum()
+    }
+
+    /// All spans on a specific lane.
+    pub fn spans(&self, rank: u32, lane: &str) -> &[Span] {
+        self.lanes
+            .get(&(rank, lane.to_string()))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The time of the last recorded span end.
+    pub fn makespan(&self) -> Time {
+        self.lanes
+            .values()
+            .flat_map(|v| v.iter().map(|s| s.end))
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Render an ASCII chart `width` characters wide covering [0, makespan].
+    pub fn render(&self, width: usize) -> String {
+        let makespan = self.makespan();
+        let mut out = String::new();
+        if makespan == Time::ZERO || width == 0 {
+            return "(empty timeline)\n".to_string();
+        }
+        let scale = makespan.ps() as f64 / width as f64;
+        writeln!(
+            out,
+            "timeline: 0 .. {} ({} per column)",
+            makespan,
+            Time::from_ps(scale as u64)
+        )
+        .unwrap();
+        for ((rank, lane), spans) in &self.lanes {
+            let mut row = vec!['.'; width];
+            for s in spans {
+                let a = ((s.start.ps() as f64 / scale) as usize).min(width - 1);
+                let b = ((s.end.ps() as f64 / scale).ceil() as usize)
+                    .clamp(a + 1, width);
+                for c in row.iter_mut().take(b).skip(a) {
+                    *c = s.glyph;
+                }
+            }
+            writeln!(out, "r{rank:<3} {lane:<8} |{}|", row.iter().collect::<String>()).unwrap();
+        }
+        out
+    }
+
+    /// Render a span listing (exact times) for debugging/tests.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for ((rank, lane), spans) in &self.lanes {
+            for s in spans {
+                writeln!(
+                    out,
+                    "r{rank} {lane:<8} [{} .. {}] {} {}",
+                    s.start, s.end, s.glyph, s.label
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut g = Gantt::disabled();
+        g.record(0, "NIC", Time::ZERO, Time::from_ns(10), '#', "x");
+        assert_eq!(g.span_count(), 0);
+        assert!(g.render(40).contains("empty"));
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut g = Gantt::enabled();
+        g.record(0, "CPU", Time::ZERO, Time::from_ns(50), 'o', "post");
+        g.record(0, "NIC", Time::from_ns(50), Time::from_ns(150), '=', "tx");
+        g.record(1, "HPU0", Time::from_ns(100), Time::from_ns(200), 'H', "payload");
+        assert_eq!(g.span_count(), 3);
+        assert_eq!(g.makespan(), Time::from_ns(200));
+        let txt = g.render(80);
+        assert!(txt.contains("r0"));
+        assert!(txt.contains("HPU0"));
+        assert!(txt.contains('H'));
+        let listing = g.listing();
+        assert!(listing.contains("payload"));
+    }
+
+    #[test]
+    fn zero_length_span_ignored() {
+        let mut g = Gantt::enabled();
+        g.record(0, "CPU", Time::from_ns(5), Time::from_ns(5), 'o', "noop");
+        assert_eq!(g.span_count(), 0);
+    }
+
+    #[test]
+    fn spans_accessor() {
+        let mut g = Gantt::enabled();
+        g.record(2, "DMA", Time::ZERO, Time::from_ns(7), 'd', "w");
+        assert_eq!(g.spans(2, "DMA").len(), 1);
+        assert!(g.spans(2, "CPU").is_empty());
+        assert_eq!(g.spans(2, "DMA")[0].end, Time::from_ns(7));
+    }
+}

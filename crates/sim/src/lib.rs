@@ -1,0 +1,27 @@
+//! # spin-sim — discrete-event simulation substrate
+//!
+//! This crate provides the simulation machinery that the sPIN reproduction is
+//! built on. It plays the role LogGOPSim's event core plays in the paper's
+//! toolchain (Hoefler et al., *sPIN: High-performance streaming Processing in
+//! the Network*, SC'17, §4.2): a deterministic discrete-event engine with a
+//! picosecond time base, plus the supporting pieces every experiment needs —
+//! serialized-resource reservation (links, DMA engines, match units), online
+//! statistics, the Little's-law analytic model of Fig. 4, deterministic
+//! random-number helpers, and a text Gantt-chart recorder reproducing the
+//! trace diagrams of Appendix C.
+//!
+//! The engine is intentionally minimal: a time-ordered queue of user events
+//! with a stable FIFO tie-break so simulations are bit-reproducible across
+//! runs regardless of hash-map iteration order or platform.
+
+pub mod engine;
+pub mod gantt;
+pub mod littles_law;
+pub mod noise;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, EventQueue};
+pub use time::{Time, GIGA, KIB, MIB, NS, PS, US};

@@ -1,0 +1,184 @@
+//! The analytic HPU-provisioning model of §4.4.2 / Figure 4.
+//!
+//! The paper models the number of HPUs needed to sustain line rate with
+//! Little's law: with a mean per-packet handler time `T` and packet arrival
+//! rate `Δ`, the NIC needs `T · Δ` handler contexts. The arrival rate is
+//! bounded by the message rate `1/g` for small packets ("g-bound") and the
+//! link bandwidth `1/(G·s)` for packets of size `s` ("G-bound"); the
+//! crossover sits at `s = g/G` (335 B with the paper's parameters).
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Which resource limits the packet arrival rate at a given packet size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RateBound {
+    /// Message-rate bound: arrivals limited by the inter-message gap g.
+    GapBound,
+    /// Bandwidth bound: arrivals limited by the per-byte gap G.
+    BandwidthBound,
+}
+
+/// Parameters of the Little's-law model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LittlesLaw {
+    /// Inter-message gap g (paper: 6.7 ns).
+    pub g: Time,
+    /// Per-byte gap G in picoseconds per byte (paper: 20 ps/B).
+    pub big_g_ps_per_byte: f64,
+}
+
+impl LittlesLaw {
+    /// The paper's §4.2 parameters: g = 6.7 ns, G = 20 ps/B (400 Gb/s).
+    pub fn paper() -> Self {
+        LittlesLaw {
+            g: Time::from_ns_f64(6.7),
+            big_g_ps_per_byte: 20.0,
+        }
+    }
+
+    /// Packet inter-arrival time for packets of `s` bytes:
+    /// `max(g, G·s)` — the reciprocal of Δ = min{1/g, 1/(G·s)}.
+    pub fn interarrival(&self, s: usize) -> Time {
+        let wire = Time::from_ps((self.big_g_ps_per_byte * s as f64).round() as u64);
+        self.g.max(wire)
+    }
+
+    /// Arrival rate Δ in packets per second.
+    pub fn arrival_rate(&self, s: usize) -> f64 {
+        1e12 / self.interarrival(s).ps() as f64
+    }
+
+    /// Which bound applies at packet size `s`.
+    pub fn bound(&self, s: usize) -> RateBound {
+        if (self.big_g_ps_per_byte * s as f64) < self.g.ps() as f64 {
+            RateBound::GapBound
+        } else {
+            RateBound::BandwidthBound
+        }
+    }
+
+    /// The crossover packet size g/G where the link becomes the bottleneck
+    /// (335 B with paper parameters).
+    pub fn crossover_bytes(&self) -> f64 {
+        self.g.ps() as f64 / self.big_g_ps_per_byte
+    }
+
+    /// HPUs needed for line rate with mean handler time `t` on packets of
+    /// `s` bytes: `ceil(T · Δ)`.
+    pub fn hpus_needed(&self, t: Time, s: usize) -> u32 {
+        let ratio = t.ps() as f64 / self.interarrival(s).ps() as f64;
+        ratio.ceil() as u32
+    }
+
+    /// The longest handler time `n` HPUs can absorb at line rate for packets
+    /// of `s` bytes: `T̂ = n · max(g, G·s)`. With 8 HPUs this gives the
+    /// paper's T̂s = 53 ns (any size) and T̂l(4096) = 650 ns.
+    pub fn max_handler_time(&self, hpus: u32, s: usize) -> Time {
+        self.interarrival(s) * hpus as u64
+    }
+
+    /// Buffer memory implied by Little's law for a handler delay `t` at full
+    /// bandwidth (paper §4.1: 1 Tb/s · 200 ns = 25 kB).
+    pub fn buffer_bytes(&self, t: Time) -> f64 {
+        let bytes_per_ps = 1.0 / self.big_g_ps_per_byte;
+        bytes_per_ps * t.ps() as f64
+    }
+}
+
+/// One row of Figure 4: HPUs needed over packet size for a set of handler
+/// times.
+pub fn fig4_series(model: &LittlesLaw, handler_ns: &[u64], sizes: &[usize]) -> Vec<(usize, Vec<u32>)> {
+    sizes
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                handler_ns
+                    .iter()
+                    .map(|&t| model.hpus_needed(Time::from_ns(t), s))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_crossover_is_335_bytes() {
+        let m = LittlesLaw::paper();
+        assert!((m.crossover_bytes() - 335.0).abs() < 1.0, "{}", m.crossover_bytes());
+        assert_eq!(m.bound(64), RateBound::GapBound);
+        assert_eq!(m.bound(4096), RateBound::BandwidthBound);
+    }
+
+    #[test]
+    fn paper_max_handler_times() {
+        let m = LittlesLaw::paper();
+        // §4.4.2: with 8 HPUs, any packet size is line-rate if T < ~53 ns...
+        let t_small = m.max_handler_time(8, 1);
+        assert!((t_small.ns() - 53.6).abs() < 0.2, "{t_small}");
+        // ...and full 4 KiB packets allow T̂l = 8·G·4096 ≈ 650 ns.
+        let t_large = m.max_handler_time(8, 4096);
+        assert!((t_large.ns() - 655.36).abs() < 1.0, "{t_large}");
+    }
+
+    #[test]
+    fn arrival_rate_range_matches_paper() {
+        // §4.4.2: 12.5 Mmps ≤ Δ ≤ 150 Mmps for 4 KiB down to small packets.
+        let m = LittlesLaw::paper();
+        let small = m.arrival_rate(8) / 1e6;
+        let large = m.arrival_rate(4096) / 1e6;
+        assert!((small - 149.25).abs() < 1.0, "{small}");
+        assert!((large - 12.2).abs() < 0.5, "{large}");
+    }
+
+    #[test]
+    fn hpus_needed_monotone_in_handler_time() {
+        let m = LittlesLaw::paper();
+        for s in [16usize, 335, 1024, 4096] {
+            let mut last = 0;
+            for t in [50u64, 100, 200, 500, 1000] {
+                let n = m.hpus_needed(Time::from_ns(t), s);
+                assert!(n >= last);
+                last = n;
+            }
+        }
+    }
+
+    #[test]
+    fn hpus_needed_decreasing_in_packet_size_beyond_crossover() {
+        let m = LittlesLaw::paper();
+        let t = Time::from_ns(500);
+        let at_crossover = m.hpus_needed(t, 336);
+        let at_4k = m.hpus_needed(t, 4096);
+        assert!(at_4k < at_crossover);
+        // Below the crossover the requirement is flat (g-bound).
+        assert_eq!(m.hpus_needed(t, 8), m.hpus_needed(t, 300));
+    }
+
+    #[test]
+    fn buffer_sizing_motivation() {
+        // §4.1: at 1 Tb/s (G = 8 ps/B) a 200 ns handler delay implies 25 kB.
+        let m = LittlesLaw {
+            g: Time::from_ns_f64(6.7),
+            big_g_ps_per_byte: 8.0,
+        };
+        let b = m.buffer_bytes(Time::from_ns(200));
+        assert!((b - 25_000.0).abs() < 100.0, "{b}");
+    }
+
+    #[test]
+    fn fig4_series_shape() {
+        let m = LittlesLaw::paper();
+        let rows = fig4_series(&m, &[100, 200, 500, 1000], &[64, 335, 1024, 4096]);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].1.len(), 4);
+        // 1000 ns handlers on small packets need ~150 HPUs; on 4 KiB ~13.
+        assert!(rows[0].1[3] > 100);
+        assert!(rows[3].1[3] <= 14);
+    }
+}

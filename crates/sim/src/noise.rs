@@ -1,0 +1,182 @@
+//! Operating-system noise injection.
+//!
+//! LogGOPSim's noise support (Hoefler et al., "Characterizing the Influence
+//! of System Noise on Large-Scale Applications by Simulation", SC'10) is part
+//! of the toolchain the paper builds on; §4.4.1 argues that RDMA ping-pong is
+//! exposed to host noise while Portals 4 / sPIN replies are not. This module
+//! models noise as a stationary renewal process of detours: every host-CPU
+//! occupancy may be stretched by the detours that fall into it.
+
+use crate::rng::SimRng;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// A noise signature: detours of fixed duration arriving with exponential
+/// inter-arrival times (the classic "daemon" noise shape).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Mean interval between detours on one core.
+    pub mean_interval: Time,
+    /// Duration of one detour.
+    pub detour: Time,
+}
+
+impl NoiseModel {
+    /// 2.5 kHz / 25 us noise, a typical OS-daemon signature used in the
+    /// LogGOPSim noise studies.
+    pub fn daemon_25us() -> Self {
+        NoiseModel {
+            mean_interval: Time::from_us(400),
+            detour: Time::from_us(25),
+        }
+    }
+
+    /// Fine-grained timer-tick style noise: 10 us every 1 ms.
+    pub fn tick_10us() -> Self {
+        NoiseModel {
+            mean_interval: Time::from_us(1000),
+            detour: Time::from_us(10),
+        }
+    }
+
+    /// The fraction of CPU time the noise consumes.
+    pub fn intensity(&self) -> f64 {
+        self.detour.ps() as f64 / (self.mean_interval.ps() + self.detour.ps()) as f64
+    }
+}
+
+/// Per-core noise state: lazily draws detour arrivals and answers "how much
+/// extra time does a busy interval of length `d` starting at `t` take?".
+#[derive(Debug, Clone)]
+pub struct NoiseSource {
+    model: Option<NoiseModel>,
+    rng: SimRng,
+    /// Arrival time of the next detour not yet accounted for.
+    next_detour: Time,
+}
+
+impl NoiseSource {
+    /// A silent source (no noise).
+    pub fn silent() -> Self {
+        NoiseSource {
+            model: None,
+            rng: SimRng::seeded(0),
+            next_detour: Time::MAX,
+        }
+    }
+
+    /// A noisy source with its own RNG stream.
+    pub fn new(model: NoiseModel, mut rng: SimRng) -> Self {
+        let first = Time::from_ps(rng.exponential(model.mean_interval.ps() as f64) as u64);
+        NoiseSource {
+            model: Some(model),
+            rng,
+            next_detour: first,
+        }
+    }
+
+    /// Whether this source actually produces noise.
+    pub fn is_noisy(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Extend a busy interval that starts at `start` and needs `work` of CPU
+    /// time; returns the total occupancy including detours that preempt it.
+    ///
+    /// Detours that arrive while the work is in progress add their full
+    /// duration (the work is preempted, not dropped).
+    pub fn stretch(&mut self, start: Time, work: Time) -> Time {
+        let Some(model) = self.model else {
+            return work;
+        };
+        // Skip detours that happened while the core was idle: they finished
+        // before our work started (conservative: idle-time detours don't
+        // delay us).
+        while self.next_detour + model.detour < start {
+            self.advance(model);
+        }
+        let mut total = work;
+        let mut end = start + total;
+        // Detours arriving before the (stretched) end each add a full detour.
+        while self.next_detour < end {
+            total += model.detour;
+            end += model.detour;
+            self.advance(model);
+        }
+        total
+    }
+
+    fn advance(&mut self, model: NoiseModel) {
+        let gap = self
+            .rng
+            .exponential(model.mean_interval.ps() as f64)
+            .max(1.0) as u64;
+        self.next_detour = self.next_detour + model.detour + Time::from_ps(gap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_source_is_transparent() {
+        let mut s = NoiseSource::silent();
+        assert!(!s.is_noisy());
+        let w = Time::from_us(100);
+        assert_eq!(s.stretch(Time::ZERO, w), w);
+    }
+
+    #[test]
+    fn noisy_source_stretches_long_intervals() {
+        let model = NoiseModel::daemon_25us();
+        let mut s = NoiseSource::new(model, SimRng::seeded(11));
+        // A very long interval should be stretched by roughly the noise
+        // intensity.
+        let work = Time::from_us(100_000);
+        let stretched = s.stretch(Time::ZERO, work);
+        let overhead = (stretched - work).ps() as f64 / work.ps() as f64;
+        let expected = model.detour.ps() as f64 / model.mean_interval.ps() as f64;
+        assert!(
+            (overhead - expected).abs() < expected * 0.5,
+            "overhead {overhead} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn short_interval_usually_unaffected() {
+        let mut s = NoiseSource::new(NoiseModel::daemon_25us(), SimRng::seeded(12));
+        let mut hits = 0;
+        let mut t = Time::ZERO;
+        for _ in 0..1000 {
+            let got = s.stretch(t, Time::from_ns(100));
+            if got > Time::from_ns(100) {
+                hits += 1;
+            }
+            t += Time::from_us(50);
+        }
+        // 100 ns of work every 50 us with 25 us detours every ~400 us: only a
+        // small fraction of intervals should be hit.
+        assert!(hits < 250, "hits={hits}");
+        assert!(hits > 0, "noise never fired");
+    }
+
+    #[test]
+    fn intensity_formula() {
+        let m = NoiseModel::daemon_25us();
+        assert!((m.intensity() - 25.0 / 425.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detours_are_monotone_in_time() {
+        let mut s = NoiseSource::new(NoiseModel::tick_10us(), SimRng::seeded(13));
+        let mut prev = Time::ZERO;
+        for i in 0..100 {
+            let start = Time::from_us(i * 20);
+            let w = s.stretch(start, Time::from_us(5));
+            assert!(w >= Time::from_us(5));
+            assert!(start >= prev);
+            prev = start;
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Deterministic random-number helpers.
+//!
+//! Every stochastic element of an experiment (noise injection, synthetic
+//! trace generation, workload key distributions) draws from a seeded
+//! [`rand::rngs::StdRng`] so that experiments are exactly reproducible and
+//! failures in property tests can be replayed.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small wrapper around `StdRng` with the distributions the workloads use.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Deterministic RNG from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Split off an independent child stream (stable derivation), so
+    /// subsystems don't perturb each other's sequences when call order
+    /// changes.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base: u64 = self.inner.gen();
+        SimRng::seeded(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0,1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Exponentially distributed value with the given mean (inter-arrival
+    /// times of noise events and trace requests).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// A value drawn from a (truncated) log-normal-ish distribution built
+    /// from the underlying normal; used for service-time jitter.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        // Box-Muller from two uniforms; avoids pulling in rand_distr.
+        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        median * (sigma * z).exp()
+    }
+
+    /// Zipf-like rank selection over `n` items with skew `theta` in (0,1):
+    /// popular items get picked disproportionately (KV-store workloads).
+    pub fn zipf(&mut self, n: u64, theta: f64) -> u64 {
+        // Inverse-CDF approximation for the Zipf-Mandelbrot family; exact
+        // enough for workload skew (not used for statistics).
+        let u = self.unit();
+        let x = (n as f64).powf(1.0 - theta);
+        let r = ((x - 1.0) * u + 1.0).powf(1.0 / (1.0 - theta));
+        (r.floor() as u64).min(n - 1)
+    }
+
+    /// Sample from an arbitrary `rand` distribution.
+    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
+        dist.sample(&mut self.inner)
+    }
+
+    /// Access the raw RNG.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption_order() {
+        let mut a = SimRng::seeded(7);
+        let mut fork_a = a.fork(1);
+        let xs: Vec<u64> = (0..10).map(|_| fork_a.below(1_000_000)).collect();
+        // Same parent seed, same stream id => same fork sequence.
+        let mut b = SimRng::seeded(7);
+        let mut fork_b = b.fork(1);
+        let ys: Vec<u64> = (0..10).map(|_| fork_b.below(1_000_000)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seeded(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(50.0)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "{mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seeded(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = SimRng::seeded(5);
+        let n = 1000u64;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..50_000 {
+            let k = rng.zipf(n, 0.9);
+            assert!(k < n);
+            counts[k as usize] += 1;
+        }
+        // Head must be much more popular than the tail.
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[990..].iter().sum();
+        assert!(head > tail * 10, "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut rng = SimRng::seeded(6);
+        for _ in 0..1000 {
+            assert!(rng.lognormal(10.0, 0.5) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # spin-trace — synthetic workload traces
+//!
+//! The paper's Table 5c and §5.3 replay traces the reproduction cannot
+//! obtain: MPI traces of MILC, POP, coMD, and Cloverleaf, and SPC-1 storage
+//! traces from a financial institution and a search engine. This crate
+//! substitutes them per DESIGN.md §1:
+//!
+//! * [`apps`] — communication-pattern generators reproducing each
+//!   application's structure (4-D halo for MILC, 2-D halo for POP and
+//!   Cloverleaf, neighbour exchange for coMD) with per-iteration compute
+//!   calibrated to the paper's reported point-to-point overhead fractions,
+//!   replayed through the `spin-apps` matching layer with host-progressed
+//!   or offloaded protocols;
+//! * [`spc`] — a parser/writer for the SPC trace file format plus
+//!   synthetic OLTP-like and search-engine-like generators, replayed
+//!   against the `spin-apps` RAID-5 cluster.
+
+pub mod apps;
+pub mod spc;
