@@ -155,7 +155,10 @@ pub fn completion_us(out: &SimOutput) -> f64 {
 
 /// Run and return the full output.
 pub fn run_full(mut config: MachineConfig, mode: AccMode, bytes: usize) -> SimOutput {
-    assert!(bytes % 16 == 0, "accumulate operates on complex<f64> pairs");
+    assert!(
+        bytes.is_multiple_of(16),
+        "accumulate operates on complex<f64> pairs"
+    );
     config.host.mem_size = TMP_OFF + bytes.max(4096) * 2;
     let server: Box<dyn HostProgram> = match mode {
         AccMode::Rdma => Box::new(RdmaServer { bytes }),
@@ -198,12 +201,20 @@ mod tests {
         // §4.4.2: RDMA does 2 reads + 2 writes of N; sPIN reads N and
         // writes N over the DMA engine.
         let bytes = 256 * 1024;
-        let rdma = run_full(MachineConfig::paper(NicKind::Integrated), AccMode::Rdma, bytes);
-        let spin = run_full(MachineConfig::paper(NicKind::Integrated), AccMode::Spin, bytes);
-        let rdma_traffic = rdma.report.node_stats[1].dma_bytes
-            + rdma.report.node_stats[1].host_mem_bytes;
-        let spin_traffic = spin.report.node_stats[1].dma_bytes
-            + spin.report.node_stats[1].host_mem_bytes;
+        let rdma = run_full(
+            MachineConfig::paper(NicKind::Integrated),
+            AccMode::Rdma,
+            bytes,
+        );
+        let spin = run_full(
+            MachineConfig::paper(NicKind::Integrated),
+            AccMode::Spin,
+            bytes,
+        );
+        let rdma_traffic =
+            rdma.report.node_stats[1].dma_bytes + rdma.report.node_stats[1].host_mem_bytes;
+        let spin_traffic =
+            spin.report.node_stats[1].dma_bytes + spin.report.node_stats[1].host_mem_bytes;
         // 4N vs 2N.
         assert_eq!(rdma_traffic, 4 * bytes as u64);
         assert_eq!(spin_traffic, 2 * bytes as u64);

@@ -61,7 +61,7 @@ pub fn binomial_children(rank: u32, p: u32) -> Vec<u32> {
         half = p / 2;
     }
     while half >= 1 {
-        if rank % (half * 2) == 0 && rank + half < p {
+        if rank.is_multiple_of(half * 2) && rank + half < p {
             out.push(rank + half);
         }
         if half == 0 {
@@ -188,7 +188,10 @@ pub fn latency_us(out: &SimOutput, bytes: usize, p: u32) -> f64 {
     let mut last = Time::ZERO;
     for rank in 1..p {
         let expect: Vec<u8> = (0..bytes).map(|i| (i % 241) as u8).collect();
-        let got = out.world.nodes[rank as usize].mem.read(BUF_OFF, bytes).unwrap();
+        let got = out.world.nodes[rank as usize]
+            .mem
+            .read(BUF_OFF, bytes)
+            .unwrap();
         assert_eq!(got, &expect[..], "rank {rank} payload mismatch");
         // "received" marks may be per-packet for sPIN; take the last.
         let t = out

@@ -133,7 +133,11 @@ impl HostProgram for Client {
     fn on_start(&mut self, api: &mut HostApi<'_>) {
         api.mark("query");
         if self.offload {
-            api.me_append(MeSpec::recv(0, RESULT_TAG, (self.result_off, self.table_len)));
+            api.me_append(MeSpec::recv(
+                0,
+                RESULT_TAG,
+                (self.result_off, self.table_len),
+            ));
             api.put(
                 PutArgs::inline(1, 0, QUERY_TAG, Vec::new())
                     .with_user_hdr(UserHeader::from_u64_pair(self.target_id, 0)),
@@ -145,18 +149,20 @@ impl HostProgram for Client {
     }
     fn on_event(&mut self, ev: &FullEvent, api: &mut HostApi<'_>) {
         match (self.offload, ev.kind) {
-            (true, EventKind::Put) if ev.match_bits == RESULT_TAG => {
-                if ev.rlength == 0 {
-                    // Terminator: hdr_data = result bytes.
-                    api.record("result_bytes", ev.hdr_data as f64);
-                    api.mark("done");
-                }
+            (true, EventKind::Put) if ev.match_bits == RESULT_TAG && ev.rlength == 0 => {
+                // Terminator: hdr_data = result bytes.
+                api.record("result_bytes", ev.hdr_data as f64);
+                api.mark("done");
             }
             (false, EventKind::Reply) => {
                 // Scan the fetched table on the CPU.
                 let table = api.read_host(self.result_off, self.table_len);
                 let matches = reference_scan(&table, self.target_id);
-                api.stream_compute(self.table_len, matches.len(), (self.table_len / ROW) as u64 * 3);
+                api.stream_compute(
+                    self.table_len,
+                    matches.len(),
+                    (self.table_len / ROW) as u64 * 3,
+                );
                 // Compact the matches to the start of the result region
                 // (as the offloaded reply layout does).
                 api.write_host(self.result_off, &matches);
@@ -221,8 +227,12 @@ mod tests {
         let table = build_table(rows, 42, 0.05, 1234);
         let want = reference_scan(&table, 42);
         for offload in [false, true] {
-            let (_, bytes, out) =
-                run_query(MachineConfig::paper(NicKind::Integrated), rows, 0.05, offload);
+            let (_, bytes, out) = run_query(
+                MachineConfig::paper(NicKind::Integrated),
+                rows,
+                0.05,
+                offload,
+            );
             assert_eq!(bytes, want.len(), "offload={offload}");
             let result_off = (rows * ROW).next_multiple_of(4096);
             let got = out.world.nodes[0].mem.read(result_off, bytes).unwrap();
@@ -246,10 +256,8 @@ mod tests {
 
     #[test]
     fn selective_queries_are_faster_offloaded() {
-        let (base_us, _, _) =
-            run_query(MachineConfig::paper(NicKind::Discrete), 8192, 0.01, false);
-        let (spin_us, _, _) =
-            run_query(MachineConfig::paper(NicKind::Discrete), 8192, 0.01, true);
+        let (base_us, _, _) = run_query(MachineConfig::paper(NicKind::Discrete), 8192, 0.01, false);
+        let (spin_us, _, _) = run_query(MachineConfig::paper(NicKind::Discrete), 8192, 0.01, true);
         assert!(spin_us < base_us, "spin={spin_us} base={base_us}");
     }
 

@@ -57,11 +57,7 @@ impl VectorDt {
     /// Unpack a contiguous packed segment `[seg_off, seg_off + data.len())`
     /// into `(target_offset, slice)` pieces — the Appendix C.3.4 loop.
     /// Returns the number of pieces (for cycle accounting).
-    pub fn unpack_segments<'d>(
-        &self,
-        seg_off: usize,
-        data: &'d [u8],
-    ) -> Vec<(usize, &'d [u8])> {
+    pub fn unpack_segments<'d>(&self, seg_off: usize, data: &'d [u8]) -> Vec<(usize, &'d [u8])> {
         let mut out = Vec::new();
         let mut pos = 0usize;
         while pos < data.len() {
@@ -115,7 +111,11 @@ struct RdmaReceiver {
 }
 impl HostProgram for RdmaReceiver {
     fn on_start(&mut self, api: &mut HostApi<'_>) {
-        api.me_append(MeSpec::recv(0, DDT_TAG, (self.bounce_off, self.dt.packed_len())));
+        api.me_append(MeSpec::recv(
+            0,
+            DDT_TAG,
+            (self.bounce_off, self.dt.packed_len()),
+        ));
     }
     fn on_event(&mut self, ev: &FullEvent, api: &mut HostApi<'_>) {
         assert_eq!(ev.kind, EventKind::Put);

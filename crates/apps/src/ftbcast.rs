@@ -74,9 +74,7 @@ impl HostProgram for Rank {
                     Ok(PayloadRet::Success)
                 })
                 .build();
-            api.me_append(
-                MeSpec::recv(0, BCAST_TAG, (0, self.bytes)).with_handlers(handlers, hpu),
-            );
+            api.me_append(MeSpec::recv(0, BCAST_TAG, (0, self.bytes)).with_handlers(handlers, hpu));
         } else {
             api.me_append(MeSpec::recv(0, BCAST_TAG, (0, self.bytes)));
         }
@@ -107,9 +105,7 @@ impl HostProgram for Rank {
             if self.delivered == 1 {
                 api.mark("delivered");
                 for t in binomial_graph_targets(api.rank(), self.p) {
-                    api.put(
-                        PutArgs::from_host(t, 0, BCAST_TAG, 0, self.bytes).with_hdr_data(1),
-                    );
+                    api.put(PutArgs::from_host(t, 0, BCAST_TAG, 0, self.bytes).with_hdr_data(1));
                 }
             }
             api.record("copies", 1.0);
@@ -193,9 +189,6 @@ mod tests {
         let base_dma: u64 = base.report.node_stats.iter().map(|s| s.dma_bytes).sum();
         let spin_dma: u64 = spin.report.node_stats.iter().map(|s| s.dma_bytes).sum();
         // sPIN: one deposit per rank. Baseline: one per received copy.
-        assert!(
-            spin_dma < base_dma,
-            "spin={spin_dma} base={base_dma}"
-        );
+        assert!(spin_dma < base_dma, "spin={spin_dma} base={base_dma}");
     }
 }

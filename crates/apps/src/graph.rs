@@ -110,9 +110,8 @@ impl Worker {
 
     fn drain_frontier(&mut self, api: &mut HostApi<'_>) {
         while let Some(v) = self.frontier.pop() {
-            let dv = u64::from_le_bytes(
-                api.read_host(self.dist_off(v), 8).try_into().expect("dist"),
-            );
+            let dv =
+                u64::from_le_bytes(api.read_host(self.dist_off(v), 8).try_into().expect("dist"));
             let edges: Vec<(u64, u64, u64)> = self
                 .graph
                 .edges
@@ -150,7 +149,7 @@ impl HostProgram for Worker {
         }
         if self.offload {
             let nodes = self.nodes as u64;
-                let handlers = FnHandlers::new()
+            let handlers = FnHandlers::new()
                 .on_header(move |ctx, args, _st| {
                     // (vertex, candidate distance) in the user header:
                     // atomic min against the distance table.
@@ -177,7 +176,11 @@ impl HostProgram for Worker {
                 MeSpec::recv(0, UPDATE_TAG, (0, table_len)).with_stateless_handlers(handlers),
             );
             // Change notifications for the host scanner.
-            api.me_append(MeSpec::recv(0, DONE_TAG, (table_len.next_multiple_of(8), 8)));
+            api.me_append(MeSpec::recv(
+                0,
+                DONE_TAG,
+                (table_len.next_multiple_of(8), 8),
+            ));
         } else {
             // Baseline: updates deposit into a ring; the CPU relaxes them.
             let ring = table_len.next_multiple_of(64);
@@ -271,13 +274,7 @@ mod tests {
         let g = Graph::random(48, 3, 99);
         let want = g.reference_sssp(0);
         for offload in [false, true] {
-            let (got, _) = run_sssp(
-                MachineConfig::paper(NicKind::Integrated),
-                &g,
-                4,
-                0,
-                offload,
-            );
+            let (got, _) = run_sssp(MachineConfig::paper(NicKind::Integrated), &g, 4, 0, offload);
             assert_eq!(got, want, "offload={offload}");
         }
     }

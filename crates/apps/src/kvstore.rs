@@ -99,8 +99,7 @@ impl HostProgram for Server {
         );
         // Host fallback ring for deferred inserts: requests pack with
         // locally-managed offsets.
-        let mut fallback =
-            MeSpec::recv(0, INSERT_TAG + 1, (self.slots as usize * SLOT_LEN, 4096));
+        let mut fallback = MeSpec::recv(0, INSERT_TAG + 1, (self.slots as usize * SLOT_LEN, 4096));
         fallback.options = spin_portals::me::MeOptions::managed_overflow();
         api.me_append(fallback);
     }
@@ -213,8 +212,7 @@ mod tests {
     #[test]
     fn inserts_land_in_correct_slots() {
         let slots = 256;
-        let (out, pairs) =
-            run_inserts(MachineConfig::paper(NicKind::Integrated), 2, slots, 60, 42);
+        let (out, pairs) = run_inserts(MachineConfig::paper(NicKind::Integrated), 2, slots, 60, 42);
         // Every inserted pair must be findable in its server's table, and
         // the final mapping must match a reference insert replay.
         let mut expect: HashMap<u64, u64> = HashMap::new();
@@ -240,14 +238,14 @@ mod tests {
         config.host.mem_size = 1 << 16;
         let pairs = vec![(5u64, 10u64), (5, 20), (5, 30)];
         let b = SimBuilder::new(config)
-            .add_node(Box::new(Client {
-                pairs,
-                nodes: 1,
-            }))
+            .add_node(Box::new(Client { pairs, nodes: 1 }))
             .add_node(Box::new(Server { slots }));
         let out = b.run();
         let table = read_table(&out, 0, slots);
-        let hits: Vec<_> = table.iter().filter(|(s, k, _)| *s == 1 && *k == 5).collect();
+        let hits: Vec<_> = table
+            .iter()
+            .filter(|(s, k, _)| *s == 1 && *k == 5)
+            .collect();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].2, 30, "last write wins");
     }
@@ -257,8 +255,7 @@ mod tests {
         // A tiny table with many inserts: collisions exceed MAX_PROBES and
         // the host fallback must run at least once, yet all keys stored.
         let slots = 32;
-        let (out, pairs) =
-            run_inserts(MachineConfig::paper(NicKind::Integrated), 1, slots, 30, 7);
+        let (out, pairs) = run_inserts(MachineConfig::paper(NicKind::Integrated), 1, slots, 30, 7);
         let fallbacks = out
             .report
             .values

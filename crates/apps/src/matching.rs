@@ -149,7 +149,14 @@ impl Endpoint {
 
     /// Send `len` bytes at `buf` to `(dst, tag)`. Returns immediately; the
     /// simulation charges `o` and the wire time.
-    pub fn send(&mut self, api: &mut HostApi<'_>, dst: ProcessId, tag: u64, buf: usize, len: usize) {
+    pub fn send(
+        &mut self,
+        api: &mut HostApi<'_>,
+        dst: ProcessId,
+        tag: u64,
+        buf: usize,
+        len: usize,
+    ) {
         if len <= self.cfg.eager_threshold {
             api.put(PutArgs::from_host(dst, MSG_PT, tag, buf, len));
             return;
@@ -385,12 +392,11 @@ impl Endpoint {
                     if ev.rlength > self.cfg.eager_threshold {
                         // Offloaded RTS: metadata in the deposited header.
                         let base = self.cfg.ring_off + ev.offset;
-                        let total = u64::from_le_bytes(
-                            api.read_host(base, 8).try_into().expect("total"),
-                        ) as usize;
-                        let rdv = u64::from_le_bytes(
-                            api.read_host(base + 8, 8).try_into().expect("rdv"),
-                        );
+                        let total =
+                            u64::from_le_bytes(api.read_host(base, 8).try_into().expect("total"))
+                                as usize;
+                        let rdv =
+                            u64::from_le_bytes(api.read_host(base + 8, 8).try_into().expect("rdv"));
                         (rdv, total)
                     } else {
                         (0, ev.rlength)

@@ -336,6 +336,9 @@ mod tests {
         let rdma_gap = run(MachineConfig::discrete(), PingPongMode::Rdma, 64, 3)
             - run(MachineConfig::integrated(), PingPongMode::Rdma, 64, 3);
         assert!(spin_gap > 0.0, "{spin_gap}");
-        assert!(rdma_gap > spin_gap, "rdma_gap={rdma_gap} spin_gap={spin_gap}");
+        assert!(
+            rdma_gap > spin_gap,
+            "rdma_gap={rdma_gap} spin_gap={spin_gap}"
+        );
     }
 }

@@ -161,7 +161,11 @@ impl HostProgram for RdmaDataServer {
         // against the old block before applying.
         api.me_append(MeSpec::recv(0, WRITE_TAG, (STAGE_OFF, self.block_len)));
         // Ack landing zone, outside the block and staging regions.
-        api.me_append(MeSpec::recv(0, ACK_TAG, (STAGE_OFF + 2 * self.block_len, 4096)));
+        api.me_append(MeSpec::recv(
+            0,
+            ACK_TAG,
+            (STAGE_OFF + 2 * self.block_len, 4096),
+        ));
     }
     fn on_event(&mut self, ev: &FullEvent, api: &mut HostApi<'_>) {
         match ev.match_bits {
@@ -487,10 +491,7 @@ mod tests {
             let c = MachineConfig::paper(nic);
             let rdma = run_fig7c(c.clone(), RaidMode::Rdma, 1 << 20);
             let spin = run_fig7c(c, RaidMode::Spin, 1 << 20);
-            assert!(
-                spin < rdma,
-                "{nic:?}: rdma={rdma} spin={spin}"
-            );
+            assert!(spin < rdma, "{nic:?}: rdma={rdma} spin={spin}");
         }
     }
 
@@ -499,7 +500,9 @@ mod tests {
         let w = RaidWorkload {
             data_servers: 4,
             block_len: 16384,
-            updates: (0..12).map(|i| (i % 4, (i as usize * 512) % 8192, 1024)).collect(),
+            updates: (0..12)
+                .map(|i| (i % 4, (i as usize * 512) % 8192, 1024))
+                .collect(),
             gaps: (0..12).map(|_| Time::from_us(2)).collect(),
             window: 1,
         };

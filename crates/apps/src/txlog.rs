@@ -165,11 +165,31 @@ mod tests {
     #[test]
     fn conflict_detection() {
         let log = vec![
-            Access { source: 1, offset: 0, length: 100 },
-            Access { source: 2, offset: 50, length: 10 },
-            Access { source: 1, offset: 200, length: 10 },
-            Access { source: 3, offset: 205, length: 10 },
-            Access { source: 2, offset: 1000, length: 10 },
+            Access {
+                source: 1,
+                offset: 0,
+                length: 100,
+            },
+            Access {
+                source: 2,
+                offset: 50,
+                length: 10,
+            },
+            Access {
+                source: 1,
+                offset: 200,
+                length: 10,
+            },
+            Access {
+                source: 3,
+                offset: 205,
+                length: 10,
+            },
+            Access {
+                source: 2,
+                offset: 1000,
+                length: 10,
+            },
         ];
         let c = conflicts(&log);
         assert_eq!(c.len(), 2);
@@ -180,8 +200,16 @@ mod tests {
     #[test]
     fn same_source_never_conflicts() {
         let log = vec![
-            Access { source: 1, offset: 0, length: 100 },
-            Access { source: 1, offset: 50, length: 100 },
+            Access {
+                source: 1,
+                offset: 0,
+                length: 100,
+            },
+            Access {
+                source: 1,
+                offset: 50,
+                length: 100,
+            },
         ];
         assert!(conflicts(&log).is_empty());
     }
@@ -189,8 +217,7 @@ mod tests {
     #[test]
     fn logged_data_still_delivered() {
         // PROCEED means the introspected messages are still normal RDMA.
-        let (log, out) =
-            run_logged(MachineConfig::paper(NicKind::Integrated), 1, 3, 1 << 16, 9);
+        let (log, out) = run_logged(MachineConfig::paper(NicKind::Integrated), 1, 3, 1 << 16, 9);
         for a in &log {
             let got = out.world.nodes[0]
                 .mem

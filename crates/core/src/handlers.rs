@@ -103,6 +103,7 @@ pub type HandlerSet = Arc<dyn Handlers>;
 ///
 /// Any omitted closure behaves like the corresponding default.
 #[allow(clippy::type_complexity)]
+#[derive(Default)]
 pub struct FnHandlers {
     /// Header closure, or `None` to use the default.
     pub header_fn: Option<
@@ -136,16 +137,6 @@ pub struct FnHandlers {
                 + Sync,
         >,
     >,
-}
-
-impl Default for FnHandlers {
-    fn default() -> Self {
-        FnHandlers {
-            header_fn: None,
-            payload_fn: None,
-            completion_fn: None,
-        }
-    }
 }
 
 impl FnHandlers {

@@ -416,7 +416,9 @@ impl<'a> HostApi<'a> {
     /// Allocate HPU shared memory (`PtlHPUAllocMem`).
     pub fn hpu_alloc(&mut self, len: usize, init: Option<&[u8]>) -> u32 {
         self.charge_o("hpu_alloc");
-        self.world.nodes[self.node as usize].nic.hpu_alloc(len, init)
+        self.world.nodes[self.node as usize]
+            .nic
+            .hpu_alloc(len, init)
     }
 
     /// Allocate a counting event.
@@ -457,10 +459,8 @@ impl<'a> HostApi<'a> {
             .ni
             .ct_append_triggered(ct, op);
         for action in fired {
-            self.q.post_at(
-                self.cursor,
-                Ev::Triggered(self.node, Box::new(action)),
-            );
+            self.q
+                .post_at(self.cursor, Ev::Triggered(self.node, Box::new(action)));
         }
     }
 
@@ -479,10 +479,8 @@ impl<'a> HostApi<'a> {
             .ni
             .ct_append_triggered(watch, op);
         for action in fired {
-            self.q.post_at(
-                self.cursor,
-                Ev::Triggered(self.node, Box::new(action)),
-            );
+            self.q
+                .post_at(self.cursor, Ev::Triggered(self.node, Box::new(action)));
         }
     }
 

@@ -202,7 +202,8 @@ impl Nic {
     pub fn hpu_alloc(&mut self, len: usize, init: Option<&[u8]>) -> u32 {
         let mut mem = HpuMemory::alloc(len);
         if let Some(bytes) = init {
-            mem.init_state(bytes).expect("initial state exceeds HPU memory");
+            mem.init_state(bytes)
+                .expect("initial state exceeds HPU memory");
         }
         self.hpu_mems.push(mem);
         self.hpu_mems.len() as u32 - 1

@@ -280,7 +280,10 @@ impl World {
     }
 
     fn on_ack(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: &Packet) {
-        let Some(pending) = self.nodes[n as usize].nic.pending_sends.remove(&pkt.header.hdr_data)
+        let Some(pending) = self.nodes[n as usize]
+            .nic
+            .pending_sends
+            .remove(&pkt.header.hdr_data)
         else {
             return;
         };
@@ -294,10 +297,7 @@ impl World {
                 );
                 self.dispatch_event(q, now + cost::MATCH_CAM, n, ev);
             }
-            Notify::Ct(ct) => q.post_at(
-                now + cost::MATCH_CAM,
-                Ev::CtInc(n, CtHandle(ct), 1),
-            ),
+            Notify::Ct(ct) => q.post_at(now + cost::MATCH_CAM, Ev::CtInc(n, CtHandle(ct), 1)),
             _ => {}
         }
     }
@@ -341,12 +341,7 @@ impl World {
             }
             HeaderDisposition::FlowControl => {
                 self.nodes[n as usize].nic.stats.flow_control_events += 1;
-                let ev = FullEvent::simple(
-                    EventKind::PtDisabled,
-                    hdr.source_id,
-                    hdr.match_bits,
-                    0,
-                );
+                let ev = FullEvent::simple(EventKind::PtDisabled, hdr.source_id, hdr.match_bits, 0);
                 self.dispatch_event(q, match_done, n, ev);
             }
             HeaderDisposition::Dropped => {
@@ -395,7 +390,12 @@ impl World {
                 notify: pending.notify,
                 overflow: false,
             };
-            if self.nodes[n as usize].nic.cam.install(pkt.msg_id, ch).is_err() {
+            if self.nodes[n as usize]
+                .nic
+                .cam
+                .install(pkt.msg_id, ch)
+                .is_err()
+            {
                 self.nodes[n as usize].nic.stats.packets_dropped += 1;
                 return;
             }
@@ -417,8 +417,7 @@ impl World {
             HeaderDisposition::Matched(o) => o,
             HeaderDisposition::FlowControl => {
                 self.nodes[n as usize].nic.stats.flow_control_events += 1;
-                let ev =
-                    FullEvent::simple(EventKind::PtDisabled, hdr.source_id, hdr.match_bits, 0);
+                let ev = FullEvent::simple(EventKind::PtDisabled, hdr.source_id, hdr.match_bits, 0);
                 self.dispatch_event(q, match_done, n, ev);
                 return;
             }
@@ -608,9 +607,7 @@ impl World {
                                 // control.
                                 let mut ch_mut = ch_snapshot.clone();
                                 self.flow_control_message(q, t, n, &mut ch_mut);
-                                if let Some(c) =
-                                    self.nodes[n as usize].nic.cam.lookup(pkt.msg_id)
-                                {
+                                if let Some(c) = self.nodes[n as usize].nic.cam.lookup(pkt.msg_id) {
                                     c.flow_control = true;
                                 }
                                 dropped_delta += data.len();
@@ -742,7 +739,11 @@ impl World {
         );
         let ret = body(&mut ctx, state);
         let run = ctx.finish();
-        let occupancy = if yield_on_dma { run.compute } else { run.duration };
+        let occupancy = if yield_on_dma {
+            run.compute
+        } else {
+            run.duration
+        };
         nic.pool.schedule(core, ready, occupancy, run.duration);
         let end = start + run.duration;
         self.gantt.record(
@@ -812,11 +813,7 @@ impl World {
         self.nodes[n as usize].nic.stats.completion_runs += 1;
         // The completion stage always gets a context (it is part of message
         // teardown); fall back to the earliest core if admission is tight.
-        let core = self.nodes[n as usize]
-            .nic
-            .pool
-            .admit(ready)
-            .unwrap_or(0);
+        let core = self.nodes[n as usize].nic.pool.admit(ready).unwrap_or(0);
         let info = CompletionInfo {
             dropped_bytes: ch.dropped_bytes,
             flow_control_triggered: ch.flow_control,
@@ -929,26 +926,24 @@ impl World {
             return;
         };
         match ch.mode {
-            DeliveryMode::Reply => {
-                match ch.notify {
-                    Notify::Host => {
-                        let ev = FullEvent::simple(
-                            EventKind::Reply,
-                            ch.header.source_id,
-                            ch.header.match_bits,
-                            ch.header.length,
-                        );
-                        self.dispatch_event(q, now, n, ev);
-                    }
-                    Notify::Channel(orig) => {
-                        if let Some(d) = self.nodes[n as usize].nic.deferred.remove(&orig) {
-                            self.finish_deferred(q, now, n, d);
-                        }
-                    }
-                    Notify::Ct(ct) => q.post_now(Ev::CtInc(n, CtHandle(ct), 1)),
-                    Notify::None => {}
+            DeliveryMode::Reply => match ch.notify {
+                Notify::Host => {
+                    let ev = FullEvent::simple(
+                        EventKind::Reply,
+                        ch.header.source_id,
+                        ch.header.match_bits,
+                        ch.header.length,
+                    );
+                    self.dispatch_event(q, now, n, ev);
                 }
-            }
+                Notify::Channel(orig) => {
+                    if let Some(d) = self.nodes[n as usize].nic.deferred.remove(&orig) {
+                        self.finish_deferred(q, now, n, d);
+                    }
+                }
+                Notify::Ct(ct) => q.post_now(Ev::CtInc(n, CtHandle(ct), 1)),
+                Notify::None => {}
+            },
             DeliveryMode::Rdma => {
                 self.complete_message(q, now, n, &ch);
             }

@@ -240,7 +240,9 @@ fn missing_me_triggers_flow_control() {
         .add_node(Box::new(UnexpectedSender))
         .add_node(Box::new(FlowControlledReceiver))
         .run();
-    out.report.mark(1, "pt_disabled").expect("flow control event");
+    out.report
+        .mark(1, "pt_disabled")
+        .expect("flow control event");
     assert_eq!(out.report.node_stats[1].flow_control_events, 1);
     assert!(out.world.nodes[1].nic.ni.pt_enabled(0), "re-enabled");
 }
@@ -282,7 +284,9 @@ fn slow_handlers_trigger_flow_control_mid_message() {
         .add_node(Box::new(BigSender))
         .add_node(Box::new(SlowHandlerReceiver))
         .run();
-    out.report.mark(1, "overloaded").expect("flow control fired");
+    out.report
+        .mark(1, "overloaded")
+        .expect("flow control fired");
     let stats = &out.report.node_stats[1];
     assert!(stats.hpu_rejected > 0, "admissions were rejected");
     assert!(

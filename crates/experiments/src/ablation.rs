@@ -150,7 +150,13 @@ mod tests {
         let base = t.get(0.0, "echo").unwrap();
         let low = t.get(128.0, "echo").unwrap();
         let high = t.get(2048.0, "echo").unwrap();
-        assert!(low < base * 1.25, "low-cost handlers hidden: {low} vs {base}");
-        assert!(high > base * 1.5, "over-budget handlers visible: {high} vs {base}");
+        assert!(
+            low < base * 1.25,
+            "low-cost handlers hidden: {low} vs {base}"
+        );
+        assert!(
+            high > base * 1.5,
+            "over-budget handlers visible: {high} vs {base}"
+        );
     }
 }

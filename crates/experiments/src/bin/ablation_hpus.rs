@@ -1,9 +1,12 @@
 //! HPU-count / yield-on-DMA / handler-cost ablations (DESIGN.md E11).
-use spin_experiments::{emit, ablation, Opts};
+use spin_experiments::{ablation, emit, Opts};
 fn main() {
     let opts = Opts::from_args();
-    emit(opts, &[
-        ablation::hpu_count_table(opts.quick),
-        ablation::handler_cost_table(opts.quick),
-    ]);
+    emit(
+        opts,
+        &[
+            ablation::hpu_count_table(opts.quick),
+            ablation::handler_cost_table(opts.quick),
+        ],
+    );
 }

@@ -4,19 +4,20 @@ use spin_core::config::NicKind;
 use spin_experiments::*;
 fn main() {
     let opts = Opts::from_args();
-    let mut tables = Vec::new();
-    tables.push(fig3::pingpong_table(NicKind::Integrated, opts.quick));
-    tables.push(fig3::pingpong_table(NicKind::Discrete, opts.quick));
-    tables.push(fig3::accumulate_table(opts.quick));
-    tables.push(fig4::hpus_table(opts.quick));
-    tables.push(fig4::headline_table());
-    tables.push(fig5::bcast_table(opts.quick));
-    tables.push(fig5b::matching_table(opts.quick));
-    tables.push(table5::apps_table(opts.quick));
-    tables.push(fig7::ddt_table(opts.quick));
-    tables.push(fig7::raid_table(opts.quick));
-    tables.push(spc::spc_table(opts.quick));
-    tables.push(ablation::hpu_count_table(opts.quick));
-    tables.push(ablation::handler_cost_table(opts.quick));
+    let tables = vec![
+        fig3::pingpong_table(NicKind::Integrated, opts.quick),
+        fig3::pingpong_table(NicKind::Discrete, opts.quick),
+        fig3::accumulate_table(opts.quick),
+        fig4::hpus_table(opts.quick),
+        fig4::headline_table(),
+        fig5::bcast_table(opts.quick),
+        fig5b::matching_table(opts.quick),
+        table5::apps_table(opts.quick),
+        fig7::ddt_table(opts.quick),
+        fig7::raid_table(opts.quick),
+        spc::spc_table(opts.quick),
+        ablation::hpu_count_table(opts.quick),
+        ablation::handler_cost_table(opts.quick),
+    ];
     emit(opts, &tables);
 }

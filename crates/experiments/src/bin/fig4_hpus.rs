@@ -2,5 +2,8 @@
 use spin_experiments::{emit, fig4, Opts};
 fn main() {
     let opts = Opts::from_args();
-    emit(opts, &[fig4::hpus_table(opts.quick), fig4::headline_table()]);
+    emit(
+        opts,
+        &[fig4::hpus_table(opts.quick), fig4::headline_table()],
+    );
 }

@@ -30,18 +30,24 @@ pub fn hpus_table(quick: bool) -> Table {
 pub fn headline_table() -> Table {
     let model = LittlesLaw::paper();
     let mut t = Table::new("fig4-headlines", "quantity", "value");
-    t.push(1.0, vec![(
-        "g/G crossover (B)".into(),
-        model.crossover_bytes(),
-    )]);
-    t.push(2.0, vec![(
-        "T^s with 8 HPUs (ns)".into(),
-        model.max_handler_time(8, 1).ns(),
-    )]);
-    t.push(3.0, vec![(
-        "T^l(4096) with 8 HPUs (ns)".into(),
-        model.max_handler_time(8, 4096).ns(),
-    )]);
+    t.push(
+        1.0,
+        vec![("g/G crossover (B)".into(), model.crossover_bytes())],
+    );
+    t.push(
+        2.0,
+        vec![(
+            "T^s with 8 HPUs (ns)".into(),
+            model.max_handler_time(8, 1).ns(),
+        )],
+    );
+    t.push(
+        3.0,
+        vec![(
+            "T^l(4096) with 8 HPUs (ns)".into(),
+            model.max_handler_time(8, 4096).ns(),
+        )],
+    );
     t
 }
 

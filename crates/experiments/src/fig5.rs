@@ -24,12 +24,7 @@ pub fn bcast_table(quick: bool) -> Table {
             let mut ys = Vec::new();
             for &(bytes, label) in &[(8usize, "8B"), (64 * 1024, "64KiB")] {
                 for mode in BcastMode::ALL {
-                    let t = bcast::run(
-                        MachineConfig::paper(NicKind::Discrete),
-                        mode,
-                        bytes,
-                        p,
-                    );
+                    let t = bcast::run(MachineConfig::paper(NicKind::Discrete), mode, bytes, p);
                     ys.push((format!("{}({})", mode.label(), label), t));
                 }
             }
@@ -54,7 +49,11 @@ mod tests {
             let spin8 = t.get(row.x, "sPIN(8B)").unwrap();
             let p48 = t.get(row.x, "P4(8B)").unwrap();
             let rdma8 = t.get(row.x, "RDMA(8B)").unwrap();
-            assert!(spin8 < p48 && p48 < rdma8, "P={}: {spin8} {p48} {rdma8}", row.x);
+            assert!(
+                spin8 < p48 && p48 < rdma8,
+                "P={}: {spin8} {p48} {rdma8}",
+                row.x
+            );
             let spin64 = t.get(row.x, "sPIN(64KiB)").unwrap();
             let rdma64 = t.get(row.x, "RDMA(64KiB)").unwrap();
             assert!(spin64 < rdma64, "P={}", row.x);

@@ -88,11 +88,7 @@ fn run_case(bytes: usize, offload: bool, late: bool) -> SimOutput {
 /// The Fig. 5b table: per case, completion latency (from post or arrival)
 /// and host-memory copy bytes, host vs offloaded.
 pub fn matching_table(_quick: bool) -> Table {
-    let mut table = Table::new(
-        "fig5b-matching",
-        "case",
-        "recv latency (us) / copies (KiB)",
-    );
+    let mut table = Table::new("fig5b-matching", "case", "recv latency (us) / copies (KiB)");
     let cases = [
         ("I/II-eager-posted", 4096usize, false),
         ("III-eager-late", 4096, true),
@@ -130,8 +126,6 @@ mod tests {
         assert_eq!(t.get(1.0, "sPIN-copyKiB").unwrap(), 0.0);
         assert_eq!(t.get(3.0, "sPIN-copyKiB").unwrap(), 0.0);
         // Rendezvous posted: offload completes no slower than host.
-        assert!(
-            t.get(3.0, "sPIN-latency").unwrap() <= t.get(3.0, "host-latency").unwrap() * 1.05
-        );
+        assert!(t.get(3.0, "sPIN-latency").unwrap() <= t.get(3.0, "host-latency").unwrap() * 1.05);
     }
 }

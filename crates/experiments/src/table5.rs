@@ -36,12 +36,8 @@ pub fn apps_table(quick: bool) -> Table {
     let rows: Vec<_> = configs
         .par_iter()
         .map(|&(app, p)| {
-            let (ovhd, speedup, base, _spin) = table5c_row(
-                MachineConfig::paper(NicKind::Integrated),
-                app,
-                p,
-                iters,
-            );
+            let (ovhd, speedup, base, _spin) =
+                table5c_row(MachineConfig::paper(NicKind::Integrated), app, p, iters);
             (app, p, ovhd, speedup, base.messages)
         })
         .collect();
@@ -75,7 +71,11 @@ mod tests {
             // positive and below the overhead (you can't win more time
             // than you spend communicating).
             assert!(ovhd > 0.5 && ovhd < 30.0, "{} ovhd={ovhd}", app.name());
-            assert!(spd > -1.0 && spd < ovhd, "{} spd={spd} ovhd={ovhd}", app.name());
+            assert!(
+                spd > -1.0 && spd < ovhd,
+                "{} spd={spd} ovhd={ovhd}",
+                app.name()
+            );
         }
         // Table 5c ordering: POP gains least.
         let pop = t.get(2.0, "POP-spdup%").unwrap();

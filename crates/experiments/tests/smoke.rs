@@ -1,0 +1,147 @@
+//! Smoke tests for every experiment entry point: each `fig*` / `table*` /
+//! `ablation*` binary must run a tiny (`--quick`) configuration without
+//! panicking and produce non-trivial simulated results.
+//!
+//! Two layers: the table-producing library functions are called in-process
+//! (so a failure points at the exact experiment), and each binary is then
+//! executed for real via `CARGO_BIN_EXE_*` to cover argv parsing and the
+//! `emit` path.
+
+use spin_core::config::NicKind;
+use spin_experiments::{ablation, fig3, fig4, fig5, fig5b, fig7, spc, table5};
+use spin_sim::stats::Table;
+use std::process::Command;
+
+/// A produced table must have rows, finite measurements, and at least one
+/// non-zero value — the latter is the "simulation actually advanced time"
+/// check, since every y column is derived from simulated end times.
+fn assert_nontrivial(t: &Table) {
+    assert!(!t.rows.is_empty(), "table {} has no rows", t.name);
+    let mut nonzero = 0usize;
+    for row in &t.rows {
+        assert!(!row.ys.is_empty(), "table {} row x={} empty", t.name, row.x);
+        for (series, v) in &row.ys {
+            assert!(
+                v.is_finite(),
+                "table {} series {series} at x={} is {v}",
+                t.name,
+                row.x
+            );
+            if *v != 0.0 {
+                nonzero += 1;
+            }
+        }
+    }
+    assert!(nonzero > 0, "table {} is all zeros", t.name);
+}
+
+#[test]
+fn fig3_pingpong_tables_quick() {
+    assert_nontrivial(&fig3::pingpong_table(NicKind::Integrated, true));
+    assert_nontrivial(&fig3::pingpong_table(NicKind::Discrete, true));
+}
+
+#[test]
+fn fig3_accumulate_table_quick() {
+    assert_nontrivial(&fig3::accumulate_table(true));
+}
+
+#[test]
+fn fig4_tables_quick() {
+    assert_nontrivial(&fig4::hpus_table(true));
+    assert_nontrivial(&fig4::headline_table());
+}
+
+#[test]
+fn fig5_bcast_table_quick() {
+    assert_nontrivial(&fig5::bcast_table(true));
+}
+
+#[test]
+fn fig5b_matching_table_quick() {
+    assert_nontrivial(&fig5b::matching_table(true));
+}
+
+#[test]
+fn fig7_tables_quick() {
+    assert_nontrivial(&fig7::ddt_table(true));
+    assert_nontrivial(&fig7::raid_table(true));
+}
+
+#[test]
+fn table5_apps_table_quick() {
+    assert_nontrivial(&table5::apps_table(true));
+}
+
+#[test]
+fn spc_table_quick() {
+    assert_nontrivial(&spc::spc_table(true));
+}
+
+#[test]
+fn ablation_tables_quick() {
+    assert_nontrivial(&ablation::hpu_count_table(true));
+    assert_nontrivial(&ablation::handler_cost_table(true));
+}
+
+// ------------------------------------------------------- binary execution
+
+/// Run one compiled experiment binary with `--quick` and sanity-check its
+/// table output (a `# <name>` header and at least one data line).
+fn run_binary(exe: &str, extra: &[&str]) -> String {
+    let out = Command::new(exe)
+        .arg("--quick")
+        .args(extra)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}; stderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("experiment output is UTF-8")
+}
+
+macro_rules! binary_smoke {
+    ($($test:ident => $env:literal),+ $(,)?) => {$(
+        #[test]
+        fn $test() {
+            let text = run_binary(env!($env), &[]);
+            assert!(text.contains("# "), "no table header in output:\n{text}");
+            assert!(
+                text.lines().count() >= 3,
+                "suspiciously short output:\n{text}"
+            );
+        }
+    )+};
+}
+
+binary_smoke! {
+    bin_fig3_pingpong => "CARGO_BIN_EXE_fig3_pingpong",
+    bin_fig3_accumulate => "CARGO_BIN_EXE_fig3_accumulate",
+    bin_fig4_hpus => "CARGO_BIN_EXE_fig4_hpus",
+    bin_fig5_bcast => "CARGO_BIN_EXE_fig5_bcast",
+    bin_fig5b_matching => "CARGO_BIN_EXE_fig5b_matching",
+    bin_fig7_ddt => "CARGO_BIN_EXE_fig7_ddt",
+    bin_fig7_raid => "CARGO_BIN_EXE_fig7_raid",
+    bin_table5_apps => "CARGO_BIN_EXE_table5_apps",
+    bin_table_spc => "CARGO_BIN_EXE_table_spc",
+    bin_ablation_hpus => "CARGO_BIN_EXE_ablation_hpus",
+}
+
+#[test]
+fn bin_all_experiments_json() {
+    // The umbrella binary also exercises `--json`: output must be a JSON
+    // array of tables with the expected field names.
+    let text = run_binary(env!("CARGO_BIN_EXE_all_experiments"), &["--json"]);
+    let trimmed = text.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "not a JSON array:\n{}",
+        trimmed.chars().take(200).collect::<String>()
+    );
+    for field in ["\"name\"", "\"x_label\"", "\"y_label\"", "\"rows\""] {
+        assert!(trimmed.contains(field), "missing {field} in JSON output");
+    }
+}

@@ -584,8 +584,8 @@ mod tests {
             4,
             dma,
             host,
-            (0, 1 << 16),        // ME region: first 64 KiB
-            (1 << 16, 1 << 10),  // handler region: 1 KiB after it
+            (0, 1 << 16),       // ME region: first 64 KiB
+            (1 << 16, 1 << 10), // handler region: 1 KiB after it
             4096,
         )
     }
@@ -640,8 +640,12 @@ mod tests {
         // ME region is 64 KiB: offset 65536 is out.
         assert!(c.dma_from_host_b(MemRegion::MeHost, 1 << 16, 8).is_err());
         // Handler region is 1 KiB.
-        assert!(c.dma_to_host_b(MemRegion::HandlerHost, 1020, &[0; 8]).is_err());
-        assert!(c.dma_to_host_b(MemRegion::HandlerHost, 1016, &[0; 8]).is_ok());
+        assert!(c
+            .dma_to_host_b(MemRegion::HandlerHost, 1020, &[0; 8])
+            .is_err());
+        assert!(c
+            .dma_to_host_b(MemRegion::HandlerHost, 1016, &[0; 8])
+            .is_ok());
         // put_from_host is bounds-checked too.
         assert!(c.put_from_host(1 << 16, 8, 1, 0, 0, 0).is_err());
     }
@@ -650,7 +654,8 @@ mod tests {
     fn handler_region_is_offset() {
         let (mut dma, mut host) = setup();
         let mut c = ctx(&mut dma, &mut host);
-        c.dma_to_host_b(MemRegion::HandlerHost, 0, &[9u8; 4]).unwrap();
+        c.dma_to_host_b(MemRegion::HandlerHost, 0, &[9u8; 4])
+            .unwrap();
         drop(c.finish());
         // Lands at absolute 65536.
         assert_eq!(host.read(1 << 16, 4).unwrap(), &[9, 9, 9, 9]);
@@ -685,7 +690,12 @@ mod tests {
         assert_eq!(run.actions.len(), 2);
         assert!(run.actions[0].0 < run.actions[1].0);
         match &run.actions[0].1 {
-            OutAction::PutFromDevice { payload, target, match_bits, .. } => {
+            OutAction::PutFromDevice {
+                payload,
+                target,
+                match_bits,
+                ..
+            } => {
                 assert_eq!(&payload[..], &[1, 2, 3]);
                 assert_eq!(*target, 5);
                 assert_eq!(*match_bits, 42);
@@ -727,8 +737,14 @@ mod tests {
         c.yield_now();
         let run = c.finish();
         assert_eq!(run.actions.len(), 2);
-        assert!(matches!(run.actions[0].1, OutAction::CtInc { ct: 3, by: 1 }));
-        assert!(matches!(run.actions[1].1, OutAction::CtSet { ct: 4, value: 10 }));
+        assert!(matches!(
+            run.actions[0].1,
+            OutAction::CtInc { ct: 3, by: 1 }
+        ));
+        assert!(matches!(
+            run.actions[1].1,
+            OutAction::CtSet { ct: 4, value: 10 }
+        ));
     }
 
     #[test]
@@ -737,7 +753,14 @@ mod tests {
         host.write(0, &[1u8; 8192]).unwrap();
         let t1 = {
             let mut c = HandlerCtx::new(
-                Time::ZERO, 0, 4, &mut dma, &mut host, (0, 1 << 16), (0, 0), 4096,
+                Time::ZERO,
+                0,
+                4,
+                &mut dma,
+                &mut host,
+                (0, 1 << 16),
+                (0, 0),
+                4096,
             );
             c.dma_from_host_b(MemRegion::MeHost, 0, 4096).unwrap();
             c.finish().duration
@@ -746,7 +769,14 @@ mod tests {
         // first on the data path.
         let t2 = {
             let mut c = HandlerCtx::new(
-                Time::ZERO, 1, 4, &mut dma, &mut host, (0, 1 << 16), (0, 0), 4096,
+                Time::ZERO,
+                1,
+                4,
+                &mut dma,
+                &mut host,
+                (0, 1 << 16),
+                (0, 0),
+                4096,
             );
             c.dma_from_host_b(MemRegion::MeHost, 4096, 4096).unwrap();
             c.finish().duration

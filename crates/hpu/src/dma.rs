@@ -225,7 +225,11 @@ mod tests {
         let b = d.write(Time::ZERO, 1 << 20);
         assert_eq!(b.channel_start, a.channel_end);
         // Two 1 MiB writes at 150 GiB/s keep the channel busy ~13 us total.
-        assert!((d.busy_total().us() - 13.02).abs() < 0.1, "{}", d.busy_total());
+        assert!(
+            (d.busy_total().us() - 13.02).abs() < 0.1,
+            "{}",
+            d.busy_total()
+        );
     }
 
     #[test]

@@ -64,9 +64,7 @@ pub struct HpuMemory {
 impl HpuMemory {
     /// Allocate `len` bytes of zeroed scratchpad (PtlHPUAllocMem).
     pub fn alloc(len: usize) -> Self {
-        HpuMemory {
-            data: vec![0; len],
-        }
+        HpuMemory { data: vec![0; len] }
     }
 
     /// Region size.
@@ -86,7 +84,10 @@ impl HpuMemory {
     }
 
     fn bounds(&self, offset: usize, len: usize) -> Result<(), Segv> {
-        if offset.checked_add(len).is_some_and(|e| e <= self.data.len()) {
+        if offset
+            .checked_add(len)
+            .is_some_and(|e| e <= self.data.len())
+        {
             Ok(())
         } else {
             Err(Segv {
@@ -159,9 +160,7 @@ pub struct HostMemory {
 impl HostMemory {
     /// Allocate `len` bytes of zeroed host memory.
     pub fn new(len: usize) -> Self {
-        HostMemory {
-            data: vec![0; len],
-        }
+        HostMemory { data: vec![0; len] }
     }
 
     /// Size in bytes.
@@ -175,7 +174,10 @@ impl HostMemory {
     }
 
     fn bounds(&self, offset: usize, len: usize) -> Result<(), Segv> {
-        if offset.checked_add(len).is_some_and(|e| e <= self.data.len()) {
+        if offset
+            .checked_add(len)
+            .is_some_and(|e| e <= self.data.len())
+        {
             Ok(())
         } else {
             Err(Segv {

@@ -141,13 +141,7 @@ impl HpuPool {
     /// waits) at start + `duration`. Returns the slot actually granted.
     ///
     /// `occupancy <= duration`; they differ when `yield_on_dma` is on.
-    pub fn schedule(
-        &mut self,
-        core: usize,
-        now: Time,
-        occupancy: Time,
-        duration: Time,
-    ) -> HpuSlot {
+    pub fn schedule(&mut self, core: usize, now: Time, occupancy: Time, duration: Time) -> HpuSlot {
         debug_assert!(occupancy <= duration);
         let (start, _end) = self.cores.reserve_on(core, now, occupancy);
         self.outstanding[core].push(start + duration);

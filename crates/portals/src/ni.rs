@@ -209,7 +209,10 @@ impl PortalsNi {
                 self.pts[pt as usize].enabled = false;
                 self.pts[pt as usize].dropped_messages += 1;
                 if let Some(eq) = self.pts[pt as usize].eq {
-                    self.eq_push(eq, FullEvent::simple(EventKind::PtDisabled, source, bits, 0));
+                    self.eq_push(
+                        eq,
+                        FullEvent::simple(EventKind::PtDisabled, source, bits, 0),
+                    );
                 }
                 HeaderDisposition::FlowControl
             }

@@ -51,7 +51,15 @@ impl Gantt {
     }
 
     /// Record a busy interval.
-    pub fn record(&mut self, rank: u32, lane: &str, start: Time, end: Time, glyph: char, label: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        rank: u32,
+        lane: &str,
+        start: Time,
+        end: Time,
+        glyph: char,
+        label: impl Into<String>,
+    ) {
         if !self.enabled || end <= start {
             return;
         }
@@ -107,13 +115,17 @@ impl Gantt {
             let mut row = vec!['.'; width];
             for s in spans {
                 let a = ((s.start.ps() as f64 / scale) as usize).min(width - 1);
-                let b = ((s.end.ps() as f64 / scale).ceil() as usize)
-                    .clamp(a + 1, width);
+                let b = ((s.end.ps() as f64 / scale).ceil() as usize).clamp(a + 1, width);
                 for c in row.iter_mut().take(b).skip(a) {
                     *c = s.glyph;
                 }
             }
-            writeln!(out, "r{rank:<3} {lane:<8} |{}|", row.iter().collect::<String>()).unwrap();
+            writeln!(
+                out,
+                "r{rank:<3} {lane:<8} |{}|",
+                row.iter().collect::<String>()
+            )
+            .unwrap();
         }
         out
     }
@@ -152,7 +164,14 @@ mod tests {
         let mut g = Gantt::enabled();
         g.record(0, "CPU", Time::ZERO, Time::from_ns(50), 'o', "post");
         g.record(0, "NIC", Time::from_ns(50), Time::from_ns(150), '=', "tx");
-        g.record(1, "HPU0", Time::from_ns(100), Time::from_ns(200), 'H', "payload");
+        g.record(
+            1,
+            "HPU0",
+            Time::from_ns(100),
+            Time::from_ns(200),
+            'H',
+            "payload",
+        );
         assert_eq!(g.span_count(), 3);
         assert_eq!(g.makespan(), Time::from_ns(200));
         let txt = g.render(80);

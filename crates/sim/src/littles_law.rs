@@ -88,7 +88,11 @@ impl LittlesLaw {
 
 /// One row of Figure 4: HPUs needed over packet size for a set of handler
 /// times.
-pub fn fig4_series(model: &LittlesLaw, handler_ns: &[u64], sizes: &[usize]) -> Vec<(usize, Vec<u32>)> {
+pub fn fig4_series(
+    model: &LittlesLaw,
+    handler_ns: &[u64],
+    sizes: &[usize],
+) -> Vec<(usize, Vec<u32>)> {
     sizes
         .iter()
         .map(|&s| {
@@ -110,7 +114,11 @@ mod tests {
     #[test]
     fn paper_crossover_is_335_bytes() {
         let m = LittlesLaw::paper();
-        assert!((m.crossover_bytes() - 335.0).abs() < 1.0, "{}", m.crossover_bytes());
+        assert!(
+            (m.crossover_bytes() - 335.0).abs() < 1.0,
+            "{}",
+            m.crossover_bytes()
+        );
         assert_eq!(m.bound(64), RateBound::GapBound);
         assert_eq!(m.bound(4096), RateBound::BandwidthBound);
     }

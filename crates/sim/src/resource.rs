@@ -180,15 +180,9 @@ impl IntervalResource {
         // Find the insertion region: first busy interval ending after
         // `earliest`.
         let mut cursor = earliest;
-        let mut idx = self
-            .busy
-            .partition_point(|&(_, end)| end <= earliest);
+        let mut idx = self.busy.partition_point(|&(_, end)| end <= earliest);
         loop {
-            let gap_end = self
-                .busy
-                .get(idx)
-                .map(|&(s, _)| s)
-                .unwrap_or(Time::MAX);
+            let gap_end = self.busy.get(idx).map(|&(s, _)| s).unwrap_or(Time::MAX);
             let start = cursor.max(
                 idx.checked_sub(1)
                     .map(|i| self.busy[i].1)

@@ -99,8 +99,7 @@ impl OnlineStats {
         let n = (self.n + other.n) as f64;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / n;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / n;
         self.n += other.n;
         self.mean = mean;
         self.m2 = m2;
@@ -248,11 +247,7 @@ impl Table {
         for row in &self.rows {
             out.push_str(&format!("{:>14}", trim_float(row.x)));
             for s in &series {
-                let v = row
-                    .ys
-                    .iter()
-                    .find(|(n, _)| n == s)
-                    .map(|(_, v)| *v);
+                let v = row.ys.iter().find(|(n, _)| n == s).map(|(_, v)| *v);
                 match v {
                     Some(v) => out.push_str(&format!(" {:>14}", format_sig(v))),
                     None => out.push_str(&format!(" {:>14}", "-")),

@@ -38,7 +38,12 @@ pub enum AppKind {
 
 impl AppKind {
     /// All apps in Table 5c order.
-    pub const ALL: [AppKind; 4] = [AppKind::Milc, AppKind::Pop, AppKind::Comd, AppKind::Cloverleaf];
+    pub const ALL: [AppKind; 4] = [
+        AppKind::Milc,
+        AppKind::Pop,
+        AppKind::Comd,
+        AppKind::Cloverleaf,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -95,13 +100,13 @@ struct AppSpec {
 pub fn balanced_dims(p: u32, dims: u32) -> Vec<u32> {
     let mut sizes = vec![1u32; dims as usize];
     let mut rem = p;
-    for d in 0..dims as usize {
+    for (d, size) in sizes.iter_mut().enumerate() {
         let left = (dims as usize - d) as u32;
         let target = (rem as f64).powf(1.0 / left as f64);
         // The divisor of `rem` closest to the target (ties prefer larger).
         let mut best = 1u32;
         for cand in 1..=rem {
-            if rem % cand == 0
+            if rem.is_multiple_of(cand)
                 && ((cand as f64 - target).abs() < (best as f64 - target).abs()
                     || ((cand as f64 - target).abs() == (best as f64 - target).abs()
                         && cand > best))
@@ -109,7 +114,7 @@ pub fn balanced_dims(p: u32, dims: u32) -> Vec<u32> {
                 best = cand;
             }
         }
-        sizes[d] = best;
+        *size = best;
         rem /= best;
     }
     sizes[dims as usize - 1] *= rem;
@@ -299,7 +304,12 @@ fn summarize(out: &SimOutput, p: u32) -> AppRun {
 
 /// Run the Table 5c comparison for one app: returns
 /// `(overhead fraction, speedup fraction, baseline run, offloaded run)`.
-pub fn table5c_row(config: MachineConfig, app: AppKind, p: u32, iters: u32) -> (f64, f64, AppRun, AppRun) {
+pub fn table5c_row(
+    config: MachineConfig,
+    app: AppKind,
+    p: u32,
+    iters: u32,
+) -> (f64, f64, AppRun, AppRun) {
     let base = run_app(config.clone(), app, p, iters, false);
     let spin = run_app(config, app, p, iters, true);
     let speedup = 1.0 - spin.runtime.ps() as f64 / base.runtime.ps() as f64;
@@ -313,7 +323,15 @@ mod tests {
 
     #[test]
     fn balanced_dims_are_exact_partitions() {
-        for (p, dims) in [(8u32, 2u32), (8, 4), (6, 3), (64, 4), (72, 3), (360, 3), (17, 2)] {
+        for (p, dims) in [
+            (8u32, 2u32),
+            (8, 4),
+            (6, 3),
+            (64, 4),
+            (72, 3),
+            (360, 3),
+            (17, 2),
+        ] {
             let sizes = balanced_dims(p, dims);
             assert_eq!(sizes.iter().product::<u32>(), p, "{p} {dims} {sizes:?}");
         }

@@ -173,54 +173,58 @@ impl ReplayClient {
     }
 
     fn issue_next(&mut self, api: &mut HostApi<'_>) {
-        loop {
-            if self.next >= self.records.len() {
-                if self.awaiting == 0 && self.reads_pending == 0 {
-                    api.mark("trace_done");
-                }
-                return;
+        if self.next >= self.records.len() {
+            if self.awaiting == 0 && self.reads_pending == 0 {
+                api.mark("trace_done");
             }
-            let r = self.records[self.next];
-            self.next += 1;
-            // Honour trace think time relative to the previous request,
-            // accelerated 50x: the paper replays against a saturated
-            // storage backend where protocol time, not client think time,
-            // dominates "processing time".
-            if self.next >= 2 {
-                let prev = self.records[self.next - 2].timestamp;
-                let gap_us = (r.timestamp - prev).max(0.0) * 1e6 / 50.0;
-                if gap_us >= 1.0 {
-                    api.compute(Time::from_us((gap_us as u64).min(200)));
-                }
+            return;
+        }
+        let r = self.records[self.next];
+        self.next += 1;
+        // Honour trace think time relative to the previous request,
+        // accelerated 50x: the paper replays against a saturated
+        // storage backend where protocol time, not client think time,
+        // dominates "processing time".
+        if self.next >= 2 {
+            let prev = self.records[self.next - 2].timestamp;
+            let gap_us = (r.timestamp - prev).max(0.0) * 1e6 / 50.0;
+            if gap_us >= 1.0 {
+                api.compute(Time::from_us((gap_us as u64).min(200)));
             }
-            let (server, off, len) = self.map(&r);
-            if r.write {
-                let data: Vec<u8> = (0..len).map(|i| (self.next + i) as u8).collect();
-                api.write_host(raid::wire::STAGE_OFF, &data);
-                let acks = match self.mode {
-                    RaidMode::Spin => api.config().net.packets_for(len) as u64,
-                    RaidMode::Rdma => 1,
-                };
-                let _ = self.mtu;
-                api.put(
-                    PutArgs::from_host(
-                        2 + server,
-                        0,
-                        raid::wire::WRITE_TAG,
-                        raid::wire::STAGE_OFF,
-                        len,
-                    )
-                    .at_remote_offset(off)
-                    .with_hdr_data(self.next as u64),
-                );
-                self.awaiting += acks;
-                return; // wait for the write to be acknowledged
-            } else {
-                // Read: plain get from the data server's block region.
-                api.get(2 + server, 0, raid::wire::WRITE_TAG, off, len, raid::wire::STAGE_OFF);
-                self.reads_pending += 1;
-                return;
-            }
+        }
+        let (server, off, len) = self.map(&r);
+        if r.write {
+            let data: Vec<u8> = (0..len).map(|i| (self.next + i) as u8).collect();
+            api.write_host(raid::wire::STAGE_OFF, &data);
+            let acks = match self.mode {
+                RaidMode::Spin => api.config().net.packets_for(len) as u64,
+                RaidMode::Rdma => 1,
+            };
+            let _ = self.mtu;
+            api.put(
+                PutArgs::from_host(
+                    2 + server,
+                    0,
+                    raid::wire::WRITE_TAG,
+                    raid::wire::STAGE_OFF,
+                    len,
+                )
+                .at_remote_offset(off)
+                .with_hdr_data(self.next as u64),
+            );
+            // Wait for the write to be acknowledged before issuing more.
+            self.awaiting += acks;
+        } else {
+            // Read: plain get from the data server's block region.
+            api.get(
+                2 + server,
+                0,
+                raid::wire::WRITE_TAG,
+                off,
+                len,
+                raid::wire::STAGE_OFF,
+            );
+            self.reads_pending += 1;
         }
     }
 }
@@ -315,14 +319,11 @@ mod tests {
     fn families_have_expected_mix() {
         let oltp = synthesize(TraceFamily::Oltp, 4000, 1);
         let search = synthesize(TraceFamily::Search, 4000, 2);
-        let wf = |r: &[SpcRecord]| {
-            r.iter().filter(|x| x.write).count() as f64 / r.len() as f64
-        };
+        let wf = |r: &[SpcRecord]| r.iter().filter(|x| x.write).count() as f64 / r.len() as f64;
         assert!((wf(&oltp) - 0.65).abs() < 0.05, "{}", wf(&oltp));
         assert!((wf(&search) - 0.15).abs() < 0.05, "{}", wf(&search));
-        let mean_size = |r: &[SpcRecord]| {
-            r.iter().map(|x| x.size as f64).sum::<f64>() / r.len() as f64
-        };
+        let mean_size =
+            |r: &[SpcRecord]| r.iter().map(|x| x.size as f64).sum::<f64>() / r.len() as f64;
         assert!(mean_size(&search) > mean_size(&oltp));
         // Timestamps are monotone.
         assert!(oltp.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));

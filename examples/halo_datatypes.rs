@@ -9,8 +9,14 @@ use spin_core::config::{MachineConfig, NicKind};
 
 fn main() {
     let total = 4 << 20;
-    println!("unpacking a {} MiB strided halo (stride = 2 x blocksize)\n", total >> 20);
-    println!("{:>12} {:>14} {:>14} {:>10}", "blocksize", "RDMA/P4 (us)", "sPIN (us)", "speedup");
+    println!(
+        "unpacking a {} MiB strided halo (stride = 2 x blocksize)\n",
+        total >> 20
+    );
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "blocksize", "RDMA/P4 (us)", "sPIN (us)", "speedup"
+    );
     for exp in [6u32, 8, 10, 12, 14, 16] {
         let blocksize = 1usize << exp;
         let dt = fig7a_dt(total, blocksize);
@@ -20,7 +26,13 @@ fn main() {
         verify_unpack(&spin, dt);
         let tr = spin_apps::datatypes::completion_us(&rdma);
         let ts = spin_apps::datatypes::completion_us(&spin);
-        println!("{:>12} {:>14.1} {:>14.1} {:>9.2}x", blocksize, tr, ts, tr / ts);
+        println!(
+            "{:>12} {:>14.1} {:>14.1} {:>9.2}x",
+            blocksize,
+            tr,
+            ts,
+            tr / ts
+        );
     }
     println!("\nboth layouts verified byte-identical against the reference unpack");
 }

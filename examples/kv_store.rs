@@ -12,7 +12,13 @@ fn main() {
     let servers = 4;
     let slots = 512;
     let n = 300;
-    let (out, pairs) = run_inserts(MachineConfig::paper(NicKind::Integrated), servers, slots, n, 99);
+    let (out, pairs) = run_inserts(
+        MachineConfig::paper(NicKind::Integrated),
+        servers,
+        slots,
+        n,
+        99,
+    );
     let mut expect: HashMap<u64, u64> = HashMap::new();
     let mut per_server = vec![0u32; servers as usize];
     for &(k, v) in &pairs {
@@ -21,8 +27,14 @@ fn main() {
     }
     let mut stored = 0;
     for s in 0..servers {
-        let live = read_table(&out, s, slots).into_iter().filter(|(st, _, _)| *st == 1).count();
-        println!("server {}: {} keys ({} routed by H1)", s, live, per_server[s as usize]);
+        let live = read_table(&out, s, slots)
+            .into_iter()
+            .filter(|(st, _, _)| *st == 1)
+            .count();
+        println!(
+            "server {}: {} keys ({} routed by H1)",
+            s, live, per_server[s as usize]
+        );
         for (state, key, value) in read_table(&out, s, slots) {
             if state == 1 {
                 assert_eq!(expect.get(&key), Some(&value));
@@ -30,7 +42,18 @@ fn main() {
             }
         }
     }
-    let fallbacks = out.report.values.iter().filter(|(_, l, _)| l == "host_fallbacks").count();
-    println!("\n{} unique keys stored and verified; {} inserts deferred to host CPUs", stored, fallbacks);
-    println!("simulation: {} events, end time {}", out.report.events_executed, out.report.end_time);
+    let fallbacks = out
+        .report
+        .values
+        .iter()
+        .filter(|(_, l, _)| l == "host_fallbacks")
+        .count();
+    println!(
+        "\n{} unique keys stored and verified; {} inserts deferred to host CPUs",
+        stored, fallbacks
+    );
+    println!(
+        "simulation: {} events, end time {}",
+        out.report.events_executed, out.report.end_time
+    );
 }

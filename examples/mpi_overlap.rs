@@ -14,7 +14,9 @@ use spin_sim::time::Time;
 const MEM: usize = 16 << 20;
 const BYTES: usize = 1 << 20;
 
-struct Sender { offload: bool }
+struct Sender {
+    offload: bool,
+}
 impl HostProgram for Sender {
     fn on_start(&mut self, api: &mut HostApi<'_>) {
         let (cfg, _) = default_config(self.offload, MEM);
@@ -25,7 +27,10 @@ impl HostProgram for Sender {
     }
 }
 
-struct Receiver { offload: bool, ep: Option<Endpoint> }
+struct Receiver {
+    offload: bool,
+    ep: Option<Endpoint>,
+}
 impl HostProgram for Receiver {
     fn on_start(&mut self, api: &mut HostApi<'_>) {
         let (cfg, _) = default_config(self.offload, MEM);
@@ -57,13 +62,21 @@ fn main() {
             .run();
         let recv = out.report.mark(1, "recv_done").unwrap();
         let compute = out.report.mark(1, "compute_done").unwrap();
-        let label = if offload { "sPIN offload" } else { "host matching" };
+        let label = if offload {
+            "sPIN offload"
+        } else {
+            "host matching"
+        };
         println!(
             "{:>14}: receive complete at {:>10}, compute done at {:>10} -> {}",
             label,
             recv,
             compute,
-            if recv < compute { "fully overlapped" } else { "transfer stalled behind compute" }
+            if recv < compute {
+                "fully overlapped"
+            } else {
+                "transfer stalled behind compute"
+            }
         );
     }
 }

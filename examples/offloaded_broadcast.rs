@@ -10,7 +10,11 @@ use spin_core::config::{MachineConfig, NicKind};
 fn main() {
     let p = 8;
     let bytes = 32 * 1024;
-    println!("broadcast of {} KiB to {} ranks (binomial tree, discrete NIC)\n", bytes / 1024, p);
+    println!(
+        "broadcast of {} KiB to {} ranks (binomial tree, discrete NIC)\n",
+        bytes / 1024,
+        p
+    );
     for mode in BcastMode::ALL {
         let mut cfg = MachineConfig::paper(NicKind::Discrete);
         cfg.record_gantt = mode == BcastMode::Spin;

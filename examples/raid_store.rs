@@ -17,7 +17,12 @@ fn main() {
         let spin = run_full(MachineConfig::paper(NicKind::Discrete), RaidMode::Spin, &w);
         check_parity(&rdma, &w);
         check_parity(&spin, &w);
-        println!("{:>10} {:>16.2} {:>16.2}", total, completion_us(&rdma), completion_us(&spin));
+        println!(
+            "{:>10} {:>16.2} {:>16.2}",
+            total,
+            completion_us(&rdma),
+            completion_us(&spin)
+        );
     }
     println!("\nparity == XOR(data blocks) verified after every run");
 }

@@ -1,8 +1,8 @@
 //! Umbrella crate for the sPIN reproduction; see README.md.
 pub use spin_apps as apps;
 pub use spin_core as core;
+pub use spin_hpu as hpu;
 pub use spin_net as net;
 pub use spin_portals as portals;
 pub use spin_sim as sim;
 pub use spin_trace as trace;
-pub use spin_hpu as hpu;

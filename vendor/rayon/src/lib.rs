@@ -1,0 +1,199 @@
+//! Minimal, offline stand-in for `rayon`.
+//!
+//! Implements the parallel-iterator shapes the experiment sweeps use —
+//! `par_iter()` optionally followed by `filter`/`enumerate`, then
+//! `map(..).collect()` — with real parallelism: the item list is split into
+//! one contiguous chunk per available core and mapped on
+//! `std::thread::scope` threads, preserving input order in the collected
+//! output. This is not a work-stealing pool — chunks are static — but
+//! experiment sweep items have similar cost, so static chunking keeps the
+//! cores busy. `filter` and `enumerate` materialize their (cheap) item
+//! lists eagerly; only the `map` stage runs in parallel.
+
+use std::num::NonZeroUsize;
+
+/// Re-exports matching `rayon::prelude::*` at the call sites.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap, VecParIter, VecParMap};
+}
+
+/// Collections whose elements can be visited in parallel by reference.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Split `items` into per-core chunks and map them on scoped threads,
+/// returning results in input order.
+fn map_chunked<'s, I, R, C, F>(items: &'s [I], f: &F) -> C
+where
+    I: Sync,
+    R: Send,
+    C: FromIterator<R>,
+    F: Fn(&'s I) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut per_chunk: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        per_chunk = handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stub worker panicked"))
+            .collect();
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A parallel iterator borrowing a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Keep elements satisfying `pred` (evaluated eagerly, sequentially).
+    pub fn filter<P>(self, pred: P) -> VecParIter<&'data T>
+    where
+        P: Fn(&&'data T) -> bool,
+    {
+        VecParIter {
+            items: self.items.iter().filter(|r| pred(r)).collect(),
+        }
+    }
+
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> VecParIter<(usize, &'data T)> {
+        VecParIter {
+            items: self.items.iter().enumerate().collect(),
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], consumed by [`ParMap::collect`].
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, F, R> ParMap<'data, T, F>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    /// Run the maps across threads and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        map_chunked(self.items, &self.f)
+    }
+}
+
+/// A parallel iterator over owned (copyable) items, produced by adapters
+/// like [`ParIter::filter`] and [`ParIter::enumerate`].
+pub struct VecParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Sync + Send + Copy> VecParIter<I> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> VecParMap<I, F>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        VecParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`VecParIter::map`], consumed by [`VecParMap::collect`].
+pub struct VecParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, F, R> VecParMap<I, F>
+where
+    I: Sync + Send + Copy,
+    F: Fn(I) -> R + Sync,
+    R: Send,
+{
+    /// Run the maps across threads and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        map_chunked(&self.items, &|item: &I| (self.f)(*item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_in_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_then_map() {
+        let xs: Vec<u64> = (0..100).collect();
+        let ys: Vec<u64> = xs.par_iter().filter(|&&x| x % 3 == 0).map(|&x| x).collect();
+        assert_eq!(ys, (0..100).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let xs = ["a", "b", "c"];
+        let ys: Vec<(usize, &str)> = xs.par_iter().enumerate().map(|(i, &s)| (i, s)).collect();
+        assert_eq!(ys, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn works_on_tiny_inputs() {
+        let xs = [7u32];
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ys, vec![8]);
+        let empty: Vec<u32> = Vec::new();
+        let zs: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(zs.is_empty());
+    }
+}

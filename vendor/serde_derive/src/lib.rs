@@ -1,0 +1,246 @@
+//! Hand-rolled derive macros for the vendored mini-serde.
+//!
+//! `syn`/`quote` are unavailable offline, so the type definition is parsed
+//! directly from the `proc_macro::TokenStream`. Supported shapes — which
+//! cover every `#[derive(Serialize, Deserialize)]` in this workspace:
+//!
+//! * structs with named fields → JSON object in declaration order,
+//! * tuple structs → JSON array (single-field and `#[serde(transparent)]`
+//!   structs serialize as the inner value),
+//! * fieldless enums → the variant name as a JSON string.
+//!
+//! Generic types and data-carrying enum variants are rejected with a
+//! compile error naming this file, so drift is loud rather than silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct with the field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with its arity.
+    TupleStruct(usize),
+    /// Fieldless enum with its variant names.
+    Enum(Vec<String>),
+}
+
+/// Derive the mini-serde `Serialize` (see `vendor/serde`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) if input.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated impl must parse")
+}
+
+/// Derive the mini-serde `Deserialize` marker (see `vendor/serde`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    format!("impl ::serde::Deserialize for {} {{}}", input.name)
+        .parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+/// Parse the deriving item's shape out of its token stream.
+fn parse(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut transparent = false;
+
+    // Outer attributes and visibility precede the struct/enum keyword.
+    let keyword = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    transparent |= attr_is_serde_transparent(&g.stream());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip a possible `pub(crate)`-style restriction group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                panic!("serde_derive: unexpected token `{s}` before struct/enum keyword");
+            }
+            other => panic!("serde_derive: unexpected input {other:?}"),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = split_top_level_commas(g.stream()).len();
+            return Input {
+                name,
+                transparent,
+                kind: Kind::TupleStruct(arity),
+            };
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!(
+                "serde_derive: generic type `{name}` is not supported by the vendored mini-serde"
+            )
+        }
+        other => panic!("serde_derive: expected body of `{name}`, got {other:?}"),
+    };
+
+    let kind = if keyword == "struct" {
+        Kind::Struct(parse_named_fields(body.stream()))
+    } else {
+        Kind::Enum(parse_fieldless_variants(body.stream(), &name))
+    };
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Whether a `#[...]` attribute body is exactly `serde(transparent)`.
+fn attr_is_serde_transparent(stream: &TokenStream) -> bool {
+    let mut iter = stream.clone().into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|toks| !toks.is_empty())
+        .map(|toks| {
+            // Each field is `#[attr]* [pub [(..)]] name : Type`.
+            let mut name = None;
+            let mut iter = toks.into_iter().peekable();
+            while let Some(tok) = iter.next() {
+                match tok {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next(); // the [...] attribute group
+                    }
+                    TokenTree::Ident(id) if id.to_string() == "pub" => {
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    TokenTree::Ident(id) => {
+                        name = Some(id.to_string());
+                        break;
+                    }
+                    other => panic!("serde_derive: unexpected field token {other:?}"),
+                }
+            }
+            name.expect("serde_derive: field without a name")
+        })
+        .collect()
+}
+
+/// Variant names of a fieldless enum body.
+fn parse_fieldless_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|toks| !toks.is_empty())
+        .map(|toks| {
+            let mut name = None;
+            let mut iter = toks.into_iter();
+            while let Some(tok) = iter.next() {
+                match tok {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next();
+                    }
+                    TokenTree::Ident(id) => {
+                        name = Some(id.to_string());
+                        break;
+                    }
+                    other => panic!("serde_derive: unexpected variant token {other:?}"),
+                }
+            }
+            if iter.next().is_some() {
+                panic!(
+                    "serde_derive: enum `{enum_name}` has a data-carrying variant; \
+                     only fieldless enums are supported by the vendored mini-serde"
+                );
+            }
+            name.expect("serde_derive: variant without a name")
+        })
+        .collect()
+}
+
+/// Split a token stream on commas that sit outside any `<...>` nesting.
+/// (Parens/brackets/braces arrive as atomic groups, so only angle brackets
+/// need explicit depth tracking.)
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().expect("non-empty").push(tok);
+    }
+    out
+}
