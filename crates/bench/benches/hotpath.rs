@@ -1,0 +1,20 @@
+//! The packet hot path: message-heavy scenarios where per-packet simulator
+//! cost dominates. These criterion groups measure the same workload set as
+//! the `hotpath_baseline` binary (see `spin_bench::hotpath_workloads`),
+//! which emits the `BENCH_*.json` trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spin_bench::hotpath_workloads;
+use std::hint::black_box;
+
+fn packet_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10);
+    for w in hotpath_workloads() {
+        g.bench_function(w.name, |b| b.iter(|| black_box((w.runner)())));
+    }
+    g.finish();
+}
+
+criterion_group!(hotpath, packet_path);
+criterion_main!(hotpath);

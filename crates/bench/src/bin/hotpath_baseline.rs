@@ -1,0 +1,76 @@
+//! Hot-path baseline emitter: runs the packet-path workload set with a
+//! fixed-iteration harness and emits `BENCH_*.json`-shaped output, so the
+//! repository tracks the per-packet cost trajectory commit over commit.
+//!
+//! ```text
+//! hotpath_baseline [--json] [--out PATH] [--label TEXT] [--iters N] [--quick]
+//! ```
+//!
+//! With `--json`, the JSON document goes to stdout (and to `PATH` when
+//! `--out` is given); otherwise a human-readable table is printed.
+
+use spin_bench::{hotpath_workloads, measure, to_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut label = String::from("worktree");
+    let mut iters: u32 = 30;
+    let mut warmup: u32 = 3;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).expect("--out needs a path").clone());
+            }
+            "--label" => {
+                i += 1;
+                label = args.get(i).expect("--label needs text").clone();
+            }
+            "--iters" => {
+                i += 1;
+                iters = args.get(i).expect("--iters needs N").parse().expect("N");
+                assert!(iters > 0, "--iters must be at least 1");
+            }
+            "--quick" => {
+                iters = 5;
+                warmup = 1;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let measurements: Vec<_> = hotpath_workloads()
+        .iter()
+        .map(|w| measure(w, warmup, iters))
+        .collect();
+
+    if json || out_path.is_some() {
+        let doc = to_json(&label, &measurements);
+        if let Some(path) = &out_path {
+            std::fs::write(path, &doc).expect("write baseline json");
+            eprintln!("wrote {path}");
+        }
+        if json {
+            print!("{doc}");
+        }
+    } else {
+        println!(
+            "{:<28} {:>12} {:>12} {:>6}",
+            "bench", "median_ns", "mean_ns", "iters"
+        );
+        for m in &measurements {
+            println!(
+                "{:<28} {:>12} {:>12} {:>6}",
+                m.name, m.median_ns, m.mean_ns, m.iters
+            );
+        }
+    }
+}

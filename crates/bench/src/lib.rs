@@ -1,5 +1,168 @@
-//! # spin-bench — Criterion benchmarks
+//! # spin-bench — Criterion benchmarks and the hot-path baseline harness
 //!
 //! Wall-clock benchmarks of the reproduction itself: one group per paper
 //! figure/table (measuring the simulator regenerating the experiment at a
-//! reduced size) plus simulator-component throughput. See `benches/`.
+//! reduced size), simulator-component throughput, and the **packet hot
+//! path** (see `benches/hotpath.rs`).
+//!
+//! The hot-path workloads live here in the library so the criterion bench
+//! and the `hotpath_baseline` binary (the `BENCH_*.json` emitter) measure
+//! the exact same code: per-packet simulator cost on message-heavy
+//! scenarios, the per-"request" cost once this grows into a
+//! traffic-serving system.
+
+use spin_apps::bcast::{self, BcastMode};
+use spin_apps::pingpong::{self, PingPongMode};
+use spin_apps::raid::RaidMode;
+use spin_core::config::{MachineConfig, NicKind};
+use spin_trace::spc::{replay, synthesize, TraceFamily};
+use std::time::Instant;
+
+/// One hot-path workload: a named closure returning a checksum that keeps
+/// the optimizer honest (events executed, or a time in picoseconds).
+pub struct Workload {
+    /// Stable benchmark name (keys the `BENCH_*.json` entries).
+    pub name: &'static str,
+    /// Run one iteration of the workload.
+    pub runner: fn() -> u64,
+}
+
+fn pingpong_spin_stream() -> u64 {
+    pingpong::run_full(
+        MachineConfig::paper(NicKind::Integrated),
+        PingPongMode::SpinStream,
+        64 * 1024,
+        4,
+    )
+    .report
+    .events_executed
+}
+
+fn pingpong_rdma() -> u64 {
+    pingpong::run_full(
+        MachineConfig::paper(NicKind::Integrated),
+        PingPongMode::Rdma,
+        64 * 1024,
+        4,
+    )
+    .report
+    .events_executed
+}
+
+fn fig5_bcast_quick() -> u64 {
+    bcast::run_full(
+        MachineConfig::paper(NicKind::Discrete),
+        BcastMode::Spin,
+        8 * 1024,
+        8,
+    )
+    .report
+    .events_executed
+}
+
+fn spc_replay_quick() -> u64 {
+    let trace = synthesize(TraceFamily::Oltp, 20, 1);
+    replay(
+        MachineConfig::paper(NicKind::Integrated),
+        RaidMode::Spin,
+        &trace,
+    )
+    .ps()
+}
+
+/// The packet-path workload set measured by both the criterion group and
+/// the JSON baseline emitter.
+pub fn hotpath_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "pingpong_spin_stream_64k",
+            runner: pingpong_spin_stream,
+        },
+        Workload {
+            name: "pingpong_rdma_64k",
+            runner: pingpong_rdma,
+        },
+        Workload {
+            name: "fig5_bcast_spin_quick",
+            runner: fig5_bcast_quick,
+        },
+        Workload {
+            name: "spc_replay_oltp_quick",
+            runner: spc_replay_quick,
+        },
+    ]
+}
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name.
+    pub name: &'static str,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: u64,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Checksum from the last iteration (sanity: must be stable across
+    /// iterations — the simulator is deterministic).
+    pub check: u64,
+}
+
+/// Measure a workload: `warmup` untimed runs, then `iters` timed runs.
+/// Uses a fixed iteration count (not a wall-clock budget) so before/after
+/// comparisons run the identical schedule.
+pub fn measure(w: &Workload, warmup: u32, iters: u32) -> Measurement {
+    assert!(iters > 0, "measure() needs at least one timed iteration");
+    let mut check = 0u64;
+    let mut check_valid = false;
+    for _ in 0..warmup {
+        check = std::hint::black_box((w.runner)());
+        check_valid = true;
+    }
+    let mut samples: Vec<u64> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let c = std::hint::black_box((w.runner)());
+        samples.push(t0.elapsed().as_nanos() as u64);
+        assert!(
+            !check_valid || c == check,
+            "{}: nondeterministic checksum ({c} vs {check})",
+            w.name
+        );
+        check = c;
+        check_valid = true;
+    }
+    samples.sort_unstable();
+    let median_ns = samples[samples.len() / 2];
+    let mean_ns = samples.iter().sum::<u64>() / samples.len() as u64;
+    Measurement {
+        name: w.name,
+        median_ns,
+        mean_ns,
+        iters,
+        check,
+    }
+}
+
+/// Render measurements as a `BENCH_*.json` document. `label` identifies
+/// the tree that was measured (e.g. a commit or "pre-refactor").
+pub fn to_json(label: &str, measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"harness\": \"spin-bench hotpath_baseline v1 (warmup+fixed-iters, median ns/iter)\",\n  \"label\": {label:?},\n  \"benches\": [\n"
+    ));
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \"iters\": {}, \"check\": {} }}{}\n",
+            m.name,
+            m.median_ns,
+            m.mean_ns,
+            m.iters,
+            m.check,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -1,0 +1,144 @@
+//! Completion stage: once every packet of a message is processed, run the
+//! completion handler (§3.2.3), deliver the full event, bump counters,
+//! send acks, and resolve deferred (rendezvous, §5.1) completions.
+
+use crate::msg::Notify;
+use crate::nic::{Channel, DeferredCompletion, DeliveryMode};
+use crate::world::{Ev, World};
+use spin_hpu::ctx::CompletionRet;
+use spin_portals::ct::CtHandle;
+use spin_portals::eq::{EventKind, FullEvent};
+use spin_portals::types::AckReq;
+use spin_sim::engine::EventQueue;
+use spin_sim::time::Time;
+
+impl World {
+    /// All packets of `msg_id` are processed on node `n`: tear down the
+    /// channel and complete the message.
+    pub(crate) fn on_message_done(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        now: Time,
+        n: u32,
+        msg_id: u64,
+    ) {
+        let Some(ch) = self.nodes[n as usize].nic.cam.evict(msg_id) else {
+            return;
+        };
+        match ch.mode {
+            DeliveryMode::Reply => match ch.notify {
+                Notify::Host => {
+                    let ev = FullEvent::simple(
+                        EventKind::Reply,
+                        ch.header.source_id,
+                        ch.header.match_bits,
+                        ch.header.length,
+                    );
+                    self.dispatch_event(q, now, n, ev);
+                }
+                Notify::Channel(orig) => {
+                    if let Some(d) = self.nodes[n as usize].nic.deferred.remove(&orig) {
+                        self.finish_deferred(q, now, n, d);
+                    }
+                }
+                Notify::Ct(ct) => q.post_now(Ev::CtInc(n, CtHandle(ct), 1)),
+                Notify::None => {}
+            },
+            DeliveryMode::Rdma => {
+                self.complete_message(q, now, n, &ch);
+            }
+            DeliveryMode::SpinProcess | DeliveryMode::SpinProceed | DeliveryMode::DropAll => {
+                let mut ch = ch;
+                let hs = ch.handlers.clone();
+                let mut end = now;
+                let mut pending = ch.pending_me;
+                if let Some(hs) = hs.filter(|h| h.has_completion()) {
+                    let mut split = self.node_split(n);
+                    let ctx = &mut split.ctx;
+                    let (e, ret) = ctx.run_completion(q, now, &ch, &hs);
+                    end = e;
+                    match ret {
+                        Ok(CompletionRet::Success) => {}
+                        Ok(CompletionRet::SuccessPending) => pending = true,
+                        Ok(CompletionRet::Fail) | Err(_) => {
+                            ctx.report_handler_error(q, e, &mut ch, ret.is_err());
+                        }
+                    }
+                }
+                if pending {
+                    // Park the completion until a follow-up (e.g. the
+                    // rendezvous get) finishes.
+                    let event = self.put_event(&ch);
+                    self.nodes[n as usize].nic.deferred.insert(
+                        msg_id,
+                        DeferredCompletion {
+                            event,
+                            ct: ch.ct,
+                            ack: ch.ack,
+                            ack_to: ch.header.source_id,
+                            src_msg_id: ch.src_msg_id,
+                        },
+                    );
+                } else if !(ch.mode == DeliveryMode::DropAll && ch.flow_control) {
+                    self.complete_message(q, end, n, &ch);
+                }
+            }
+        }
+    }
+
+    /// The full event a completed put generates.
+    pub(crate) fn put_event(&self, ch: &Channel) -> FullEvent {
+        FullEvent {
+            kind: if ch.overflow {
+                EventKind::PutOverflow
+            } else {
+                EventKind::Put
+            },
+            peer: ch.header.source_id,
+            match_bits: ch.header.match_bits,
+            rlength: ch.header.length,
+            mlength: ch.mlength.saturating_sub(ch.dropped_bytes),
+            offset: ch.dest_offset,
+            hdr_data: ch.header.hdr_data,
+            me: Some(ch.me),
+            user_ptr: ch.user_ptr,
+            ni_fail: 0,
+        }
+    }
+
+    /// Deliver the completion event, bump the attached counter, and send
+    /// the requested ack.
+    pub(crate) fn complete_message(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: Time,
+        n: u32,
+        ch: &Channel,
+    ) {
+        let ev = self.put_event(ch);
+        self.dispatch_event(q, t, n, ev);
+        if let Some(ct) = ch.ct {
+            q.post_at(t, Ev::CtInc(n, ct, 1));
+        }
+        if ch.ack != AckReq::None {
+            self.send_ack(q, t, n, ch.header.source_id, ch.src_msg_id);
+        }
+    }
+
+    /// Complete a previously parked (rendezvous) completion.
+    pub(crate) fn finish_deferred(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: Time,
+        n: u32,
+        d: DeferredCompletion,
+    ) {
+        self.dispatch_event(q, t, n, d.event);
+        if let Some(ct) = d.ct {
+            q.post_at(t, Ev::CtInc(n, ct, 1));
+        }
+        if d.ack != AckReq::None {
+            self.send_ack(q, t, n, d.ack_to, d.src_msg_id);
+        }
+    }
+}

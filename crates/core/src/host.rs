@@ -298,7 +298,7 @@ impl<'a> HostApi<'a> {
         let (_, start, end) = node.host.cores.reserve(self.cursor, stretched);
         self.world
             .gantt
-            .record(self.node, "CPU", start, end, 'o', "compute");
+            .record(self.node, "CPU", start, end, 'o', || "compute");
         self.cursor = end;
         (start, end)
     }
@@ -310,7 +310,7 @@ impl<'a> HostApi<'a> {
         let (_, start, end) = node.host.cores.reserve(self.cursor, stretched);
         self.world
             .gantt
-            .record(self.node, "CPU", start, end, 'o', label);
+            .record(self.node, "CPU", start, end, 'o', || label);
         self.cursor = end;
     }
 
@@ -501,7 +501,7 @@ impl<'a> HostApi<'a> {
         node.mem.write(dst, &data).expect("memcpy destination");
         self.world
             .gantt
-            .record(self.node, "MEM", start, end, 'm', "memcpy");
+            .record(self.node, "MEM", start, end, 'm', || "memcpy");
         self.cursor = end;
     }
 
@@ -521,7 +521,7 @@ impl<'a> HostApi<'a> {
         node.host.cores.reserve(self.cursor, end - self.cursor);
         self.world
             .gantt
-            .record(self.node, "MEM", self.cursor, end, 'c', "stream");
+            .record(self.node, "MEM", self.cursor, end, 'c', || "stream");
         self.cursor = end;
     }
 

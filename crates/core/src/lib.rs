@@ -22,11 +22,15 @@
 //! Start with [`world::SimBuilder`]; the crate-level tests and the
 //! `spin-apps` crate show complete scenarios.
 
+mod completion;
 pub mod config;
 pub mod handlers;
 pub mod host;
 pub mod msg;
 pub mod nic;
+mod recv;
+mod runtime;
+mod send;
 pub mod world;
 
 pub use config::{HostParams, MachineConfig, NicKind};

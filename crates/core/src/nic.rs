@@ -21,6 +21,7 @@ use spin_portals::ni::{NiLimits, PortalsNi};
 use spin_portals::types::{AckReq, PtlHeader};
 use spin_sim::time::Time;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How the packets of a matched message are processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,8 +83,9 @@ pub struct Channel {
     pub pending_me: bool,
     /// A handler error was already reported (only the first is, App. B.3).
     pub failed: bool,
-    /// Message header snapshot (event generation).
-    pub header: PtlHeader,
+    /// Message header (event generation) — shared with the packets of the
+    /// message, so installing a channel never copies the header.
+    pub header: Arc<PtlHeader>,
     /// Counting event attached to the ME.
     pub ct: Option<CtHandle>,
     /// ME user pointer (events).
@@ -147,6 +149,11 @@ pub struct NicStats {
     pub completion_runs: u64,
     /// Handler errors reported.
     pub handler_errors: u64,
+    /// Completion handlers forced onto core 0 because no HPU context was
+    /// free at teardown time (§3.2: completion is part of message teardown
+    /// and always runs — but context exhaustion at that point is a sizing
+    /// signal, so it is counted rather than silently absorbed).
+    pub forced_completion_admissions: u64,
 }
 
 /// The NIC runtime.
@@ -161,6 +168,10 @@ pub struct Nic {
     pub dma: DmaEngine,
     /// HPU shared-memory allocations (indexed by handle).
     pub hpu_mems: Vec<HpuMemory>,
+    /// Zero-length scratch state handed to stateless handlers (no
+    /// `hpu_mem` attached): one per NIC, reused across handler runs
+    /// instead of constructing a fresh allocation per run.
+    pub scratch: HpuMemory,
     /// Installed handler sets (indexed by `HandlerRef`).
     pub handlers: Vec<HandlerSet>,
     /// In-flight initiator-side requests by message id.
@@ -184,6 +195,7 @@ impl Nic {
             cam: Cam::new(config.cam_capacity),
             dma: DmaEngine::new(config.nic.dma_params()),
             hpu_mems: Vec::new(),
+            scratch: HpuMemory::alloc(0),
             handlers: Vec::new(),
             pending_sends: HashMap::new(),
             deferred: HashMap::new(),

@@ -1,33 +1,33 @@
 //! The full-system simulation world: nodes (host + NIC + memory) coupled by
 //! the packet-level network, driven by the discrete-event engine.
 //!
-//! This module encodes the paper's end-to-end timing paths (§4.2–§4.4):
+//! This module owns the machine state and the event dispatch table; the
+//! subsystems live in sibling modules, one per pipeline stage of the
+//! paper's end-to-end timing paths (§4.2–§4.4):
 //!
-//! * **send**: host call (+o, noise) → NIC send queue → per-packet egress
-//!   serialization `max(g, G·s)` → route latency L → ingress serialization;
-//! * **receive, RDMA/P4**: 30 ns header match (2 ns CAM for follow-ons) →
-//!   DMA into host memory (§4.3 LogGP, contended) → full event → host
-//!   dispatch (or triggered operations on the NIC for P4);
-//! * **receive, sPIN**: match → header handler (exactly once, first) →
-//!   payload handlers on free HPU cores (contexts bounded; exhaustion
-//!   triggers Portals flow control, §3.2) → completion handler → event;
-//! * handler side effects re-enter the event queue at the intra-handler
-//!   times they were issued (the gem5→LogGOPSim "simcall" path).
+//! * `send` — **send path**: host call (+o, noise) → NIC send queue →
+//!   per-packet egress serialization `max(g, G·s)` → route latency L →
+//!   ingress serialization; also the P4 triggered operations (§4.4.1).
+//! * `recv` — **receive path**: 30 ns header match (2 ns CAM for
+//!   follow-ons) → per-mode packet processing (RDMA deposit, sPIN handler
+//!   dispatch, reply assembly), mutating the installed
+//!   [`Channel`](crate::nic::Channel) in place.
+//! * `runtime` — **handler runtime**: HPU admission, sandboxed handler
+//!   execution, and the "simcall" feedback of handler side effects into
+//!   the event queue, via the split-borrow `NodeCtx`.
+//! * `completion` — **completion stage**: the completion handler, deferred
+//!   (rendezvous) completions, full events, counters, and acks.
 
 use crate::config::MachineConfig;
-use crate::handlers::{HandlerSet, HeaderArgs, PayloadArgs};
 use crate::host::{Host, HostApi, HostProgram};
-use crate::msg::{Notify, OutMsg, PayloadSpec};
-use crate::nic::{Channel, DeferredCompletion, DeliveryMode, Nic, PendingSend};
-use bytes::{Bytes, BytesMut};
-use spin_hpu::cost;
-use spin_hpu::ctx::{CompletionInfo, CompletionRet, HandlerCtx, HeaderRet, OutAction, PayloadRet};
-use spin_hpu::memory::{HostMemory, HpuMemory};
+use crate::msg::OutMsg;
+use crate::nic::Nic;
+use crate::runtime::NodeCtx;
+use spin_hpu::memory::HostMemory;
 use spin_net::transfer::Network;
 use spin_portals::ct::{CtHandle, TriggeredAction};
-use spin_portals::eq::{EventKind, FullEvent};
-use spin_portals::ni::HeaderDisposition;
-use spin_portals::types::{AckReq, OpKind, Packet, PtlHeader};
+use spin_portals::eq::FullEvent;
+use spin_portals::types::Packet;
 use spin_sim::engine::{Engine, EventQueue};
 use spin_sim::gantt::Gantt;
 use spin_sim::noise::NoiseSource;
@@ -78,7 +78,7 @@ pub struct World {
     pub gantt: Gantt,
     pub(crate) marks: Vec<(u32, String, Time)>,
     pub(crate) values: Vec<(u32, String, f64)>,
-    msg_seq: u64,
+    pub(crate) msg_seq: u64,
 }
 
 impl World {
@@ -113,12 +113,57 @@ impl World {
         }
     }
 
-    fn next_msg_id(&mut self) -> u64 {
+    pub(crate) fn next_msg_id(&mut self) -> u64 {
         self.msg_seq += 1;
         self.msg_seq
     }
 
-    /// Event dispatch entry point.
+    /// Split-borrow node `n` for the packet path: the channel CAM, the
+    /// Portals NI, and the handler registry are returned separately from
+    /// the [`NodeCtx`] the handler runtime mutates, so per-message
+    /// [`Channel`](crate::nic::Channel) state can be updated **in place**
+    /// while handlers run against the DMA engine, host memory, HPU pool,
+    /// and Gantt recorder.
+    pub(crate) fn node_split(&mut self, n: u32) -> crate::runtime::NodeSplit<'_> {
+        let World {
+            nodes,
+            gantt,
+            config,
+            ..
+        } = self;
+        let node = &mut nodes[n as usize];
+        let Nic {
+            ni,
+            pool,
+            cam,
+            dma,
+            hpu_mems,
+            scratch,
+            handlers,
+            stats,
+            ..
+        } = &mut node.nic;
+        crate::runtime::NodeSplit {
+            cam,
+            ni,
+            handlers,
+            ctx: NodeCtx {
+                n,
+                pool,
+                dma,
+                hpu_mems,
+                scratch,
+                stats,
+                mem: &mut node.mem,
+                gantt,
+                yield_on_dma: config.hpu.yield_on_dma,
+                mtu: config.net.mtu,
+                dispatch_latency: config.host.dispatch_latency,
+            },
+        }
+    }
+
+    /// Event dispatch entry point: route each event to its subsystem.
     pub fn dispatch(&mut self, q: &mut EventQueue<Ev>, now: Time, ev: Ev) {
         match ev {
             Ev::Start(n) => self.call_program(q, now, n, ProgramCall::Start),
@@ -164,964 +209,13 @@ impl World {
         self.nodes[n as usize].host.program = Some(program);
     }
 
-    // ---- send path ----
-
-    fn inject(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, mut msg: OutMsg) {
-        if msg.msg_id == 0 {
-            msg.msg_id = self.next_msg_id();
-        }
-        let is_get = matches!(msg.op, OpKind::Get);
-        // Materialize payload bytes and the time the data is ready at the NIC.
-        let (ready, data): (Time, Bytes) = match &msg.payload {
-            PayloadSpec::Inline(b) => (now, b.clone()),
-            PayloadSpec::HostRegion {
-                offset,
-                len,
-                charge_dma,
-            } => {
-                let node = &mut self.nodes[n as usize];
-                let bytes = node
-                    .mem
-                    .read_bytes(*offset, *len)
-                    .expect("send region out of bounds");
-                let ready = if *charge_dma {
-                    let t = node.nic.dma.fetch(now, *len);
-                    self.gantt
-                        .record(n, "DMA", t.channel_start, t.complete, 'r', "send-read");
-                    t.complete
-                } else {
-                    now
-                };
-                (ready, bytes)
-            }
-            PayloadSpec::None { .. } => (now, Bytes::new()),
-        };
-        let total_len = msg.user_hdr.len() + data.len();
-        let wire_len = if is_get { 0 } else { total_len };
-        let header = PtlHeader {
-            op: msg.op,
-            length: if is_get { msg.length() } else { total_len },
-            target_id: msg.dst,
-            source_id: msg.src,
-            match_bits: msg.match_bits,
-            offset: msg.remote_offset,
-            hdr_data: msg.hdr_data,
-            user_hdr: msg.user_hdr.clone(),
-            pt_index: msg.pt,
-            ack_req: msg.ack,
-        };
-        // Register initiator-side completion state.
-        let needs_pending = is_get || msg.notify != Notify::None || msg.ack != AckReq::None;
-        if needs_pending {
-            self.nodes[n as usize].nic.pending_sends.insert(
-                msg.msg_id,
-                PendingSend {
-                    notify: msg.notify,
-                    reply_dest: msg.reply_dest,
-                    length: msg.length(),
-                    peer: msg.dst,
-                    match_bits: msg.match_bits,
-                },
-            );
-        }
-        // Wire payload = user header bytes ++ data.
-        let full: Bytes = if msg.user_hdr.is_empty() {
-            data
-        } else {
-            let mut b = BytesMut::with_capacity(total_len);
-            b.extend_from_slice(msg.user_hdr.as_bytes());
-            b.extend_from_slice(&data);
-            b.freeze()
-        };
-        let params = self.config.net;
-        let total = params.packets_for(wire_len) as u32;
-        let mut off = 0usize;
-        for i in 0..total {
-            let size = params.packet_size(wire_len, i as usize);
-            let timing = self.network.send_packet(ready, msg.src, msg.dst, size);
-            self.gantt.record(
-                n,
-                "NIC",
-                timing.tx_start,
-                timing.tx_end,
-                '=',
-                format!("tx m{} p{}", msg.msg_id, i),
-            );
-            let pkt = Packet {
-                msg_id: msg.msg_id,
-                index: i,
-                total,
-                offset: off,
-                payload: full.slice(off..off + size),
-                header: header.clone(),
-            };
-            q.post_at(timing.arrival, Ev::PacketArrive(msg.dst, Box::new(pkt)));
-            off += size;
-        }
-    }
-
-    // ---- receive path ----
-
-    fn on_packet(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: Packet) {
-        match pkt.header.op {
-            OpKind::Ack => self.on_ack(q, now, n, &pkt),
-            OpKind::Reply => self.on_reply_packet(q, now, n, pkt),
-            OpKind::Get if pkt.is_header() => self.on_get(q, now, n, &pkt),
-            _ if pkt.is_header() => self.on_put_header(q, now, n, pkt),
-            _ => self.on_follow_packet(q, now, n, pkt),
-        }
-    }
-
-    fn dispatch_event(&self, q: &mut EventQueue<Ev>, at: Time, n: u32, ev: FullEvent) {
+    /// Deliver a full event to node `n`'s program after the host dispatch
+    /// latency.
+    pub(crate) fn dispatch_event(&self, q: &mut EventQueue<Ev>, at: Time, n: u32, ev: FullEvent) {
         q.post_at(
             at + self.config.host.dispatch_latency,
             Ev::HostDeliver(n, Box::new(ev)),
         );
-    }
-
-    fn on_ack(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: &Packet) {
-        let Some(pending) = self.nodes[n as usize]
-            .nic
-            .pending_sends
-            .remove(&pkt.header.hdr_data)
-        else {
-            return;
-        };
-        match pending.notify {
-            Notify::Host => {
-                let ev = FullEvent::simple(
-                    EventKind::Ack,
-                    pkt.header.source_id,
-                    pending.match_bits,
-                    pending.length,
-                );
-                self.dispatch_event(q, now + cost::MATCH_CAM, n, ev);
-            }
-            Notify::Ct(ct) => q.post_at(now + cost::MATCH_CAM, Ev::CtInc(n, CtHandle(ct), 1)),
-            _ => {}
-        }
-    }
-
-    fn on_get(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: &Packet) {
-        let match_done = now + cost::MATCH_HEADER;
-        let hdr = &pkt.header;
-        let disposition = self.nodes[n as usize].nic.ni.deliver_header(
-            hdr.pt_index,
-            hdr.match_bits,
-            hdr.source_id,
-            hdr.length,
-            hdr.offset,
-        );
-        match disposition {
-            HeaderDisposition::Matched(outcome) => {
-                let node = &mut self.nodes[n as usize];
-                let src = outcome.entry.start + outcome.dest_offset;
-                let len = outcome.mlength;
-                let data = node.mem.read_bytes(src, len).expect("get source");
-                let t = node.nic.dma.fetch(match_done, len);
-                self.gantt
-                    .record(n, "DMA", t.channel_start, t.complete, 'r', "get-read");
-                let reply = OutMsg {
-                    src: n,
-                    dst: hdr.source_id,
-                    op: OpKind::Reply,
-                    pt: hdr.pt_index,
-                    match_bits: hdr.match_bits,
-                    remote_offset: 0,
-                    hdr_data: pkt.msg_id,
-                    user_hdr: Default::default(),
-                    payload: PayloadSpec::Inline(data),
-                    ack: AckReq::None,
-                    reply_dest: 0,
-                    notify: Notify::None,
-                    msg_id: 0,
-                    answers: pkt.msg_id,
-                };
-                q.post_at(t.complete, Ev::NicInject(n, Box::new(reply)));
-            }
-            HeaderDisposition::FlowControl => {
-                self.nodes[n as usize].nic.stats.flow_control_events += 1;
-                let ev = FullEvent::simple(EventKind::PtDisabled, hdr.source_id, hdr.match_bits, 0);
-                self.dispatch_event(q, match_done, n, ev);
-            }
-            HeaderDisposition::Dropped => {
-                self.nodes[n as usize].nic.stats.packets_dropped += 1;
-            }
-        }
-    }
-
-    fn on_reply_packet(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: Packet) {
-        let done = now + cost::MATCH_CAM;
-        if pkt.is_header() {
-            let Some(pending) = self.nodes[n as usize]
-                .nic
-                .pending_sends
-                .remove(&pkt.header.hdr_data)
-            else {
-                self.nodes[n as usize].nic.stats.packets_dropped += 1;
-                return;
-            };
-            let ch = Channel {
-                mode: DeliveryMode::Reply,
-                pt: pkt.header.pt_index,
-                me: spin_portals::me::MeHandle(0),
-                me_start: 0,
-                me_len: 0,
-                dest_offset: 0,
-                mlength: pkt.header.length,
-                handlers: None,
-                hpu_mem: None,
-                handler_region: (0, 0),
-                total_packets: pkt.total,
-                processed: 0,
-                user_hdr_len: 0,
-                header_done: done,
-                last_done: done,
-                dropped_bytes: 0,
-                flow_control: false,
-                pending_me: false,
-                failed: false,
-                header: pkt.header.clone(),
-                ct: None,
-                user_ptr: 0,
-                ack: AckReq::None,
-                src_msg_id: pkt.msg_id,
-                reply_dest: pending.reply_dest,
-                notify: pending.notify,
-                overflow: false,
-            };
-            if self.nodes[n as usize]
-                .nic
-                .cam
-                .install(pkt.msg_id, ch)
-                .is_err()
-            {
-                self.nodes[n as usize].nic.stats.packets_dropped += 1;
-                return;
-            }
-        }
-        self.process_packet(q, done, n, &pkt);
-    }
-
-    fn on_put_header(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: Packet) {
-        let match_done = now + cost::MATCH_HEADER;
-        let hdr = pkt.header.clone();
-        let disposition = self.nodes[n as usize].nic.ni.deliver_header(
-            hdr.pt_index,
-            hdr.match_bits,
-            hdr.source_id,
-            hdr.length,
-            hdr.offset,
-        );
-        let outcome = match disposition {
-            HeaderDisposition::Matched(o) => o,
-            HeaderDisposition::FlowControl => {
-                self.nodes[n as usize].nic.stats.flow_control_events += 1;
-                let ev = FullEvent::simple(EventKind::PtDisabled, hdr.source_id, hdr.match_bits, 0);
-                self.dispatch_event(q, match_done, n, ev);
-                return;
-            }
-            HeaderDisposition::Dropped => {
-                self.nodes[n as usize].nic.stats.packets_dropped += 1;
-                return;
-            }
-        };
-        let entry = &outcome.entry;
-        let handlers: Option<HandlerSet> = entry
-            .handlers
-            .map(|r| self.nodes[n as usize].nic.handlers[r.0 as usize].clone());
-        let mut ch = Channel {
-            mode: DeliveryMode::Rdma,
-            pt: hdr.pt_index,
-            me: outcome.handle,
-            me_start: entry.start,
-            me_len: entry.length,
-            dest_offset: outcome.dest_offset,
-            mlength: outcome.mlength,
-            handlers: handlers.clone(),
-            hpu_mem: entry.hpu_memory,
-            handler_region: entry.handler_mem,
-            total_packets: pkt.total,
-            processed: 0,
-            user_hdr_len: hdr.user_hdr.len(),
-            header_done: match_done,
-            last_done: match_done,
-            dropped_bytes: 0,
-            flow_control: false,
-            pending_me: false,
-            failed: false,
-            header: hdr.clone(),
-            ct: entry.ct.map(CtHandle),
-            user_ptr: entry.user_ptr,
-            ack: hdr.ack_req,
-            src_msg_id: pkt.msg_id,
-            reply_dest: 0,
-            notify: Notify::None,
-            overflow: outcome.list == spin_portals::me::ListKind::Overflow,
-        };
-        if let Some(hs) = handlers {
-            // sPIN path: header handler first, exactly once.
-            if hs.has_header() {
-                match self.nodes[n as usize].nic.pool.admit(match_done) {
-                    None => {
-                        // No HPU contexts: flow control for the whole message.
-                        self.flow_control_message(q, match_done, n, &mut ch);
-                    }
-                    Some(core) => {
-                        let (end, ret) =
-                            self.run_header_handler(q, n, core, match_done, &mut ch, &hs);
-                        ch.header_done = end;
-                        ch.last_done = end;
-                        match ret {
-                            Ok(HeaderRet::ProcessData) => ch.mode = DeliveryMode::SpinProcess,
-                            Ok(HeaderRet::ProcessDataPending) => {
-                                ch.mode = DeliveryMode::SpinProcess;
-                                ch.pending_me = true;
-                            }
-                            Ok(HeaderRet::Proceed) => ch.mode = DeliveryMode::SpinProceed,
-                            Ok(HeaderRet::ProceedPending) => {
-                                ch.mode = DeliveryMode::SpinProceed;
-                                ch.pending_me = true;
-                            }
-                            Ok(HeaderRet::Drop) => {
-                                ch.mode = DeliveryMode::DropAll;
-                            }
-                            Ok(HeaderRet::DropPending) => {
-                                ch.mode = DeliveryMode::DropAll;
-                                ch.pending_me = true;
-                            }
-                            Ok(HeaderRet::Fail) | Err(_) => {
-                                self.report_handler_error(q, end, n, &mut ch, ret.is_err());
-                                ch.mode = DeliveryMode::DropAll;
-                            }
-                        }
-                    }
-                }
-            } else if hs.has_payload() {
-                ch.mode = DeliveryMode::SpinProcess;
-            } else {
-                ch.mode = DeliveryMode::SpinProceed;
-            }
-        }
-        let msg_id = pkt.msg_id;
-        if self.nodes[n as usize].nic.cam.install(msg_id, ch).is_err() {
-            // CAM exhausted: treat as flow control (drop message).
-            self.nodes[n as usize].nic.stats.flow_control_events += 1;
-            self.nodes[n as usize].nic.ni.pt_disable(hdr.pt_index);
-            let ev = FullEvent::simple(EventKind::PtDisabled, hdr.source_id, hdr.match_bits, 0);
-            self.dispatch_event(q, match_done, n, ev);
-            return;
-        }
-        let start_at = self.nodes[n as usize]
-            .nic
-            .cam
-            .peek(msg_id)
-            .map(|c| c.header_done)
-            .unwrap_or(match_done);
-        self.process_packet(q, start_at, n, &pkt);
-    }
-
-    fn on_follow_packet(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: Packet) {
-        let done = now + cost::MATCH_CAM;
-        if self.nodes[n as usize].nic.cam.peek(pkt.msg_id).is_none() {
-            self.nodes[n as usize].nic.stats.packets_dropped += 1;
-            return;
-        }
-        let ready = self.nodes[n as usize]
-            .nic
-            .cam
-            .peek(pkt.msg_id)
-            .map(|c| c.header_done.max(done))
-            .unwrap_or(done);
-        self.process_packet(q, ready, n, &pkt);
-    }
-
-    /// Process one packet of an installed channel at time `t` (matching and
-    /// header-handler ordering already applied). Updates assembly state and
-    /// posts `MessageDone` when the message is complete.
-    fn process_packet(&mut self, q: &mut EventQueue<Ev>, t: Time, n: u32, pkt: &Packet) {
-        let Some(ch_snapshot) = self.nodes[n as usize].nic.cam.peek(pkt.msg_id).cloned() else {
-            return;
-        };
-        let mut done_at = t;
-        let mut dropped_delta = 0usize;
-        match ch_snapshot.mode {
-            DeliveryMode::Reply => {
-                if !pkt.payload.is_empty() {
-                    let node = &mut self.nodes[n as usize];
-                    let timing = node.nic.dma.write(t, pkt.payload.len());
-                    node.mem
-                        .write(ch_snapshot.reply_dest + pkt.offset, &pkt.payload)
-                        .expect("reply deposit");
-                    self.gantt.record(
-                        n,
-                        "DMA",
-                        timing.channel_start,
-                        timing.complete,
-                        'w',
-                        "reply",
-                    );
-                    done_at = timing.complete;
-                }
-            }
-            DeliveryMode::Rdma | DeliveryMode::SpinProceed => {
-                // Default deposit (includes the user header, §3.2.1 PROCEED).
-                let msg_off = pkt.offset;
-                if msg_off < ch_snapshot.mlength && !pkt.payload.is_empty() {
-                    let len = pkt.payload.len().min(ch_snapshot.mlength - msg_off);
-                    let node = &mut self.nodes[n as usize];
-                    let timing = node.nic.dma.write(t, len);
-                    node.mem
-                        .write(
-                            ch_snapshot.me_start + ch_snapshot.dest_offset + msg_off,
-                            &pkt.payload[..len],
-                        )
-                        .expect("rdma deposit");
-                    self.gantt.record(
-                        n,
-                        "DMA",
-                        timing.channel_start,
-                        timing.complete,
-                        'w',
-                        "deposit",
-                    );
-                    done_at = timing.complete;
-                }
-            }
-            DeliveryMode::SpinProcess => {
-                // Strip the user header (only present in packet 0).
-                let (data, data_off) = if pkt.is_header() {
-                    let uh = ch_snapshot.user_hdr_len.min(pkt.payload.len());
-                    (pkt.payload.slice(uh..), 0usize)
-                } else {
-                    (pkt.payload.clone(), pkt.offset - ch_snapshot.user_hdr_len)
-                };
-                if ch_snapshot.flow_control {
-                    dropped_delta += data.len();
-                } else if !data.is_empty() {
-                    let hs = ch_snapshot.handlers.clone().expect("spin channel");
-                    if hs.has_payload() {
-                        match self.nodes[n as usize].nic.pool.admit(t) {
-                            None => {
-                                // Context exhaustion mid-message: §3.2 flow
-                                // control.
-                                let mut ch_mut = ch_snapshot.clone();
-                                self.flow_control_message(q, t, n, &mut ch_mut);
-                                if let Some(c) = self.nodes[n as usize].nic.cam.lookup(pkt.msg_id) {
-                                    c.flow_control = true;
-                                }
-                                dropped_delta += data.len();
-                            }
-                            Some(core) => {
-                                let (end, ret) = self.run_payload_handler(
-                                    q,
-                                    n,
-                                    core,
-                                    t,
-                                    &ch_snapshot,
-                                    &hs,
-                                    &data,
-                                    data_off,
-                                );
-                                done_at = end;
-                                match ret {
-                                    Ok(PayloadRet::Success) => {}
-                                    Ok(PayloadRet::Drop) => dropped_delta += data.len(),
-                                    Ok(PayloadRet::Fail) | Err(_) => {
-                                        let mut ch_mut = ch_snapshot.clone();
-                                        self.report_handler_error(
-                                            q,
-                                            end,
-                                            n,
-                                            &mut ch_mut,
-                                            ret.is_err(),
-                                        );
-                                        if let Some(c) =
-                                            self.nodes[n as usize].nic.cam.lookup(pkt.msg_id)
-                                        {
-                                            c.failed = true;
-                                        }
-                                        dropped_delta += data.len();
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            DeliveryMode::DropAll => {
-                dropped_delta += pkt.payload.len();
-            }
-        }
-        // Update assembly state.
-        let node = &mut self.nodes[n as usize];
-        if let Some(ch) = node.nic.cam.lookup(pkt.msg_id) {
-            ch.processed += 1;
-            ch.dropped_bytes += dropped_delta;
-            ch.last_done = ch.last_done.max(done_at);
-            if ch.processed == ch.total_packets {
-                q.post_at(ch.last_done, Ev::MessageDone(n, pkt.msg_id));
-            }
-        }
-    }
-
-    fn flow_control_message(&mut self, q: &mut EventQueue<Ev>, t: Time, n: u32, ch: &mut Channel) {
-        ch.flow_control = true;
-        let node = &mut self.nodes[n as usize];
-        node.nic.stats.flow_control_events += 1;
-        node.nic.ni.pt_disable(ch.pt);
-        let ev = FullEvent::simple(
-            EventKind::PtDisabled,
-            ch.header.source_id,
-            ch.header.match_bits,
-            0,
-        );
-        self.dispatch_event(q, t, n, ev);
-    }
-
-    fn report_handler_error(
-        &mut self,
-        q: &mut EventQueue<Ev>,
-        t: Time,
-        n: u32,
-        ch: &mut Channel,
-        segv: bool,
-    ) {
-        if ch.failed {
-            return; // only the first error is reported (Appendix B.3)
-        }
-        ch.failed = true;
-        self.nodes[n as usize].nic.stats.handler_errors += 1;
-        let mut ev = FullEvent::simple(
-            EventKind::HandlerError,
-            ch.header.source_id,
-            ch.header.match_bits,
-            0,
-        );
-        ev.ni_fail = if segv { 2 } else { 1 };
-        ev.user_ptr = ch.user_ptr;
-        self.dispatch_event(q, t, n, ev);
-    }
-
-    // ---- handler execution ----
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_handler_common<R>(
-        &mut self,
-        q: &mut EventQueue<Ev>,
-        n: u32,
-        core: usize,
-        ready: Time,
-        ch: &Channel,
-        kind: &'static str,
-        body: impl FnOnce(&mut HandlerCtx<'_>, &mut HpuMemory) -> Result<R, spin_hpu::memory::Segv>,
-    ) -> (Time, Result<R, spin_hpu::memory::Segv>) {
-        let yield_on_dma = self.config.hpu.yield_on_dma;
-        let mtu = self.config.net.mtu;
-        let node = &mut self.nodes[n as usize];
-        let Node { nic, mem, .. } = node;
-        let num_hpus = nic.pool.num_hpus();
-        let start = nic.pool.core_next_free(core).max(ready);
-        let mut scratch = HpuMemory::alloc(0);
-        let state: &mut HpuMemory = match ch.hpu_mem {
-            Some(h) => &mut nic.hpu_mems[h as usize],
-            None => &mut scratch,
-        };
-        let mut ctx = HandlerCtx::new(
-            start,
-            core,
-            num_hpus,
-            &mut nic.dma,
-            mem,
-            (ch.me_start, ch.me_len),
-            ch.handler_region,
-            mtu,
-        );
-        let ret = body(&mut ctx, state);
-        let run = ctx.finish();
-        let occupancy = if yield_on_dma {
-            run.compute
-        } else {
-            run.duration
-        };
-        nic.pool.schedule(core, ready, occupancy, run.duration);
-        let end = start + run.duration;
-        self.gantt.record(
-            n,
-            &format!("HPU{core}"),
-            start,
-            end,
-            'H',
-            format!("{kind} m{}", ch.src_msg_id),
-        );
-        // Feed handler side effects back into the event queue.
-        for (t, action) in run.actions {
-            self.apply_action(q, t, n, ch, action);
-        }
-        (end, ret)
-    }
-
-    fn run_header_handler(
-        &mut self,
-        q: &mut EventQueue<Ev>,
-        n: u32,
-        core: usize,
-        ready: Time,
-        ch: &mut Channel,
-        hs: &HandlerSet,
-    ) -> (Time, Result<HeaderRet, spin_hpu::memory::Segv>) {
-        self.nodes[n as usize].nic.stats.header_runs += 1;
-        let header = ch.header.clone();
-        self.run_handler_common(q, n, core, ready, ch, "hdr", |ctx, state| {
-            let args = HeaderArgs { header: &header };
-            hs.header(ctx, &args, state)
-        })
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_payload_handler(
-        &mut self,
-        q: &mut EventQueue<Ev>,
-        n: u32,
-        core: usize,
-        ready: Time,
-        ch: &Channel,
-        hs: &HandlerSet,
-        data: &Bytes,
-        data_off: usize,
-    ) -> (Time, Result<PayloadRet, spin_hpu::memory::Segv>) {
-        self.nodes[n as usize].nic.stats.payload_runs += 1;
-        let msg_length = ch.header.length - ch.user_hdr_len;
-        self.run_handler_common(q, n, core, ready, ch, "pay", |ctx, state| {
-            let args = PayloadArgs {
-                data,
-                offset: data_off,
-                msg_length,
-            };
-            hs.payload(ctx, &args, state)
-        })
-    }
-
-    fn run_completion_handler(
-        &mut self,
-        q: &mut EventQueue<Ev>,
-        n: u32,
-        ready: Time,
-        ch: &Channel,
-        hs: &HandlerSet,
-    ) -> (Time, Result<CompletionRet, spin_hpu::memory::Segv>) {
-        self.nodes[n as usize].nic.stats.completion_runs += 1;
-        // The completion stage always gets a context (it is part of message
-        // teardown); fall back to the earliest core if admission is tight.
-        let core = self.nodes[n as usize].nic.pool.admit(ready).unwrap_or(0);
-        let info = CompletionInfo {
-            dropped_bytes: ch.dropped_bytes,
-            flow_control_triggered: ch.flow_control,
-        };
-        self.run_handler_common(q, n, core, ready, ch, "cpl", |ctx, state| {
-            hs.completion(ctx, &info, state)
-        })
-    }
-
-    fn apply_action(
-        &mut self,
-        q: &mut EventQueue<Ev>,
-        t: Time,
-        n: u32,
-        ch: &Channel,
-        action: OutAction,
-    ) {
-        match action {
-            OutAction::PutFromDevice {
-                payload,
-                target,
-                match_bits,
-                remote_offset,
-                hdr_data,
-                user_hdr,
-            } => {
-                let msg = OutMsg {
-                    src: n,
-                    dst: target,
-                    op: OpKind::Put,
-                    pt: ch.pt,
-                    match_bits,
-                    remote_offset,
-                    hdr_data,
-                    user_hdr,
-                    payload: PayloadSpec::Inline(payload),
-                    ack: AckReq::None,
-                    reply_dest: 0,
-                    notify: Notify::None,
-                    msg_id: 0,
-                    answers: 0,
-                };
-                q.post_at(t, Ev::NicInject(n, Box::new(msg)));
-            }
-            OutAction::PutFromHost {
-                me_offset,
-                length,
-                target,
-                match_bits,
-                remote_offset,
-                hdr_data,
-                user_hdr,
-            } => {
-                let msg = OutMsg {
-                    src: n,
-                    dst: target,
-                    op: OpKind::Put,
-                    pt: ch.pt,
-                    match_bits,
-                    remote_offset,
-                    hdr_data,
-                    user_hdr,
-                    payload: PayloadSpec::HostRegion {
-                        offset: ch.me_start + me_offset,
-                        len: length,
-                        charge_dma: true,
-                    },
-                    ack: AckReq::None,
-                    reply_dest: 0,
-                    notify: Notify::None,
-                    msg_id: 0,
-                    answers: 0,
-                };
-                q.post_at(t, Ev::NicInject(n, Box::new(msg)));
-            }
-            OutAction::Get {
-                me_offset,
-                length,
-                target,
-                match_bits,
-                remote_offset,
-            } => {
-                let msg = OutMsg {
-                    src: n,
-                    dst: target,
-                    op: OpKind::Get,
-                    pt: ch.pt,
-                    match_bits,
-                    remote_offset,
-                    hdr_data: 0,
-                    user_hdr: Default::default(),
-                    payload: PayloadSpec::None { len: length },
-                    ack: AckReq::None,
-                    reply_dest: ch.me_start + me_offset,
-                    notify: Notify::Channel(ch.src_msg_id),
-                    msg_id: 0,
-                    answers: 0,
-                };
-                q.post_at(t, Ev::NicInject(n, Box::new(msg)));
-            }
-            OutAction::CtInc { ct, by } => q.post_at(t, Ev::CtInc(n, CtHandle(ct), by)),
-            OutAction::CtSet { ct, value } => q.post_at(t, Ev::CtSet(n, CtHandle(ct), value)),
-        }
-    }
-
-    // ---- completion stage ----
-
-    fn on_message_done(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, msg_id: u64) {
-        let Some(ch) = self.nodes[n as usize].nic.cam.evict(msg_id) else {
-            return;
-        };
-        match ch.mode {
-            DeliveryMode::Reply => match ch.notify {
-                Notify::Host => {
-                    let ev = FullEvent::simple(
-                        EventKind::Reply,
-                        ch.header.source_id,
-                        ch.header.match_bits,
-                        ch.header.length,
-                    );
-                    self.dispatch_event(q, now, n, ev);
-                }
-                Notify::Channel(orig) => {
-                    if let Some(d) = self.nodes[n as usize].nic.deferred.remove(&orig) {
-                        self.finish_deferred(q, now, n, d);
-                    }
-                }
-                Notify::Ct(ct) => q.post_now(Ev::CtInc(n, CtHandle(ct), 1)),
-                Notify::None => {}
-            },
-            DeliveryMode::Rdma => {
-                self.complete_message(q, now, n, &ch);
-            }
-            DeliveryMode::SpinProcess | DeliveryMode::SpinProceed | DeliveryMode::DropAll => {
-                let hs = ch.handlers.clone();
-                let mut end = now;
-                let mut pending = ch.pending_me;
-                if let Some(hs) = hs.filter(|h| h.has_completion()) {
-                    let (e, ret) = self.run_completion_handler(q, n, now, &ch, &hs);
-                    end = e;
-                    match ret {
-                        Ok(CompletionRet::Success) => {}
-                        Ok(CompletionRet::SuccessPending) => pending = true,
-                        Ok(CompletionRet::Fail) | Err(_) => {
-                            let mut ch_mut = ch.clone();
-                            self.report_handler_error(q, e, n, &mut ch_mut, ret.is_err());
-                        }
-                    }
-                }
-                if pending {
-                    // Park the completion until a follow-up (e.g. the
-                    // rendezvous get) finishes.
-                    let event = self.put_event(&ch);
-                    self.nodes[n as usize].nic.deferred.insert(
-                        msg_id,
-                        DeferredCompletion {
-                            event,
-                            ct: ch.ct,
-                            ack: ch.ack,
-                            ack_to: ch.header.source_id,
-                            src_msg_id: ch.src_msg_id,
-                        },
-                    );
-                } else if !(ch.mode == DeliveryMode::DropAll && ch.flow_control) {
-                    self.complete_message(q, end, n, &ch);
-                }
-            }
-        }
-    }
-
-    fn put_event(&self, ch: &Channel) -> FullEvent {
-        FullEvent {
-            kind: if ch.overflow {
-                EventKind::PutOverflow
-            } else {
-                EventKind::Put
-            },
-            peer: ch.header.source_id,
-            match_bits: ch.header.match_bits,
-            rlength: ch.header.length,
-            mlength: ch.mlength.saturating_sub(ch.dropped_bytes),
-            offset: ch.dest_offset,
-            hdr_data: ch.header.hdr_data,
-            me: Some(ch.me),
-            user_ptr: ch.user_ptr,
-            ni_fail: 0,
-        }
-    }
-
-    fn complete_message(&mut self, q: &mut EventQueue<Ev>, t: Time, n: u32, ch: &Channel) {
-        let ev = self.put_event(ch);
-        self.dispatch_event(q, t, n, ev);
-        if let Some(ct) = ch.ct {
-            q.post_at(t, Ev::CtInc(n, ct, 1));
-        }
-        if ch.ack != AckReq::None {
-            self.send_ack(q, t, n, ch.header.source_id, ch.src_msg_id);
-        }
-    }
-
-    fn finish_deferred(&mut self, q: &mut EventQueue<Ev>, t: Time, n: u32, d: DeferredCompletion) {
-        self.dispatch_event(q, t, n, d.event);
-        if let Some(ct) = d.ct {
-            q.post_at(t, Ev::CtInc(n, ct, 1));
-        }
-        if d.ack != AckReq::None {
-            self.send_ack(q, t, n, d.ack_to, d.src_msg_id);
-        }
-    }
-
-    fn send_ack(&mut self, q: &mut EventQueue<Ev>, t: Time, n: u32, to: u32, answers: u64) {
-        let msg = OutMsg {
-            src: n,
-            dst: to,
-            op: OpKind::Ack,
-            pt: 0,
-            match_bits: 0,
-            remote_offset: 0,
-            hdr_data: answers,
-            user_hdr: Default::default(),
-            payload: PayloadSpec::Inline(Bytes::new()),
-            ack: AckReq::None,
-            reply_dest: 0,
-            notify: Notify::None,
-            msg_id: 0,
-            answers,
-        };
-        q.post_at(t, Ev::NicInject(n, Box::new(msg)));
-    }
-
-    // ---- P4 triggered operations ----
-
-    fn on_triggered(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, action: TriggeredAction) {
-        match action {
-            TriggeredAction::Put {
-                pt,
-                local_offset,
-                length,
-                target,
-                match_bits,
-                remote_offset,
-                hdr_data,
-                user_hdr,
-                ack,
-            } => {
-                let msg = OutMsg {
-                    src: n,
-                    dst: target,
-                    op: OpKind::Put,
-                    pt,
-                    match_bits,
-                    remote_offset,
-                    hdr_data,
-                    user_hdr,
-                    payload: PayloadSpec::HostRegion {
-                        offset: local_offset,
-                        len: length,
-                        // "the data is fetched via DMA ... as in the RDMA
-                        // case" (§4.4.1) — i.e. like a host-initiated send,
-                        // whose staging is covered by o/G in the LogGOPS
-                        // accounting, so no separate charge.
-                        charge_dma: false,
-                    },
-                    ack,
-                    reply_dest: 0,
-                    notify: if ack == AckReq::None {
-                        Notify::None
-                    } else {
-                        Notify::Host
-                    },
-                    msg_id: 0,
-                    answers: 0,
-                };
-                q.post_at(now, Ev::NicInject(n, Box::new(msg)));
-            }
-            TriggeredAction::Get {
-                pt,
-                local_offset,
-                length,
-                target,
-                match_bits,
-                remote_offset,
-            } => {
-                let msg = OutMsg {
-                    src: n,
-                    dst: target,
-                    op: OpKind::Get,
-                    pt,
-                    match_bits,
-                    remote_offset,
-                    hdr_data: 0,
-                    user_hdr: Default::default(),
-                    payload: PayloadSpec::None { len: length },
-                    ack: AckReq::None,
-                    reply_dest: local_offset,
-                    notify: Notify::Host,
-                    msg_id: 0,
-                    answers: 0,
-                };
-                q.post_at(now, Ev::NicInject(n, Box::new(msg)));
-            }
-            TriggeredAction::CtInc { ct, increment } => {
-                q.post_now(Ev::CtInc(n, ct, increment));
-            }
-            TriggeredAction::CtSet { ct, value } => {
-                q.post_now(Ev::CtSet(n, ct, value));
-            }
-        }
     }
 }
 
@@ -1156,6 +250,9 @@ pub struct NodeStats {
     pub handler_runs: (u64, u64, u64),
     /// Handler errors reported.
     pub handler_errors: u64,
+    /// Completion handlers that found no free HPU context and were forced
+    /// onto core 0 (context exhaustion at message-teardown time).
+    pub forced_completion_admissions: u64,
 }
 
 /// Simulation output summary.
@@ -1280,6 +377,7 @@ impl SimBuilder {
                     node.nic.stats.completion_runs,
                 ),
                 handler_errors: node.nic.stats.handler_errors,
+                forced_completion_admissions: node.nic.stats.forced_completion_admissions,
             })
             .collect();
         let report = Report {

@@ -377,3 +377,51 @@ fn noise_stretches_host_compute() {
     let overhead = (tn.ps() as f64 - tq.ps() as f64) / tq.ps() as f64;
     assert!(overhead > 0.01 && overhead < 0.25, "{overhead}");
 }
+
+// ------------------------------------- forced completion-stage admissions
+
+struct BackToBackSender;
+impl HostProgram for BackToBackSender {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        api.write_host(0, &[7u8; 64]);
+        // Two single-packet messages close together: the second message's
+        // completion stage lands while the first's (long) completion
+        // handler still holds the only HPU context.
+        api.put(PutArgs::from_host(1, 0, 9, 0, 64));
+        api.put(PutArgs::from_host(1, 0, 9, 0, 64));
+    }
+}
+
+struct SlowCompletionReceiver;
+impl HostProgram for SlowCompletionReceiver {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        let handlers = FnHandlers::new()
+            .on_completion(|ctx, _info, _state| {
+                // ~50 us of teardown work per message.
+                ctx.compute_cycles(125_000);
+                Ok(spin_hpu::ctx::CompletionRet::Success)
+            })
+            .build();
+        api.me_append(MeSpec::recv(0, 9, (0, 4096)).with_stateless_handlers(handlers));
+    }
+}
+
+#[test]
+fn completion_context_exhaustion_is_counted() {
+    let mut config = MachineConfig::integrated();
+    config.hpu.cores = 1;
+    config.hpu.contexts_per_hpu = 1;
+    config.hpu.yield_on_dma = false;
+    let out = SimBuilder::new(config)
+        .add_node(Box::new(BackToBackSender))
+        .add_node(Box::new(SlowCompletionReceiver))
+        .run();
+    let stats = &out.report.node_stats[1];
+    assert_eq!(stats.handler_runs.2, 2, "both completion handlers ran");
+    assert!(
+        stats.forced_completion_admissions >= 1,
+        "the second completion was forced: {stats:?}"
+    );
+    // The forced admission is not silent flow control: no packets dropped.
+    assert_eq!(stats.packets_dropped, 0);
+}

@@ -25,10 +25,15 @@ pub struct Cam<T> {
 
 impl<T> Cam<T> {
     /// A CAM holding up to `capacity` concurrent channels.
+    ///
+    /// The backing table starts small and grows on demand: `capacity` is
+    /// the architectural bound, not a preallocation (a 1024-entry table of
+    /// channel state per NIC would dominate simulation setup at
+    /// multi-node scale).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "CAM capacity must be positive");
         Cam {
-            channels: HashMap::with_capacity(capacity.min(1024)),
+            channels: HashMap::with_capacity(capacity.min(16)),
             capacity,
             installs: 0,
             hits: 0,

@@ -2,6 +2,7 @@
 //! kinds, and the message header (`ptl_header_t` of Appendix B.3).
 
 use bytes::Bytes;
+use std::sync::Arc;
 
 /// Logical process identifier (the paper uses logically-addressed mode, so
 /// a rank is enough; physical nid/pid addressing maps 1:1 here).
@@ -55,11 +56,13 @@ pub enum AckReq {
 
 /// A user-defined header carried in the first bytes of the payload
 /// (`ptl_user_header_t`). sPIN header handlers parse this; it is declared
-/// statically in the paper so hardware can pre-parse it — here it is a small
-/// byte vector with typed accessors.
+/// statically in the paper so hardware can pre-parse it — here it is a
+/// reference-counted byte buffer ([`Bytes`]) with typed accessors, so
+/// cloning a header (e.g. sharing it across the packets of a message)
+/// never copies the user-header bytes.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UserHeader {
-    bytes: Vec<u8>,
+    bytes: Bytes,
 }
 
 impl UserHeader {
@@ -70,7 +73,9 @@ impl UserHeader {
 
     /// Build from raw bytes (checked against `max_user_hdr_size` by the NI).
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
-        UserHeader { bytes }
+        UserHeader {
+            bytes: Bytes::from(bytes),
+        }
     }
 
     /// Build from two u64 fields — the layout the rendezvous protocol of
@@ -79,14 +84,12 @@ impl UserHeader {
         let mut bytes = Vec::with_capacity(16);
         bytes.extend_from_slice(&a.to_le_bytes());
         bytes.extend_from_slice(&b.to_le_bytes());
-        UserHeader { bytes }
+        Self::from_bytes(bytes)
     }
 
     /// Build from one u32 field (e.g. the RAID protocol's client id).
     pub fn from_u32(a: u32) -> Self {
-        UserHeader {
-            bytes: a.to_le_bytes().to_vec(),
-        }
+        Self::from_bytes(a.to_le_bytes().to_vec())
     }
 
     /// Size in bytes.
@@ -171,7 +174,9 @@ impl PtlHeader {
 /// offset in the message payload, and the payload bytes themselves.
 ///
 /// Payload bytes are reference-counted slices ([`Bytes`]) so packetization
-/// never copies message data.
+/// never copies message data, and the header is an [`Arc`] so every packet
+/// of a message shares the one `PtlHeader` allocation built at injection —
+/// cloning a packet is O(1) and allocation-free.
 #[derive(Debug, Clone)]
 pub struct Packet {
     /// Message-unique id assigned by the initiating NIC.
@@ -184,12 +189,12 @@ pub struct Packet {
     pub offset: usize,
     /// Payload carried by this packet.
     pub payload: Bytes,
-    /// Header — replicated here for the header packet; follow-on packets in
+    /// Header — shared by all packets of the message; follow-on packets in
     /// a channel-based system carry only the channel id (the CAM provides
     /// the context), but the simulator keeps the header handy in all packets
     /// for assertion checking. Timing never charges for it on non-header
     /// packets.
-    pub header: PtlHeader,
+    pub header: Arc<PtlHeader>,
 }
 
 impl Packet {
@@ -226,14 +231,14 @@ mod tests {
 
     #[test]
     fn packet_header_flag() {
-        let h = PtlHeader::put(0, 1, 0, 8192);
+        let h = Arc::new(PtlHeader::put(0, 1, 0, 8192));
         let p0 = Packet {
             msg_id: 1,
             index: 0,
             total: 2,
             offset: 0,
             payload: Bytes::from(vec![0u8; 4096]),
-            header: h.clone(),
+            header: Arc::clone(&h),
         };
         let p1 = Packet {
             index: 1,

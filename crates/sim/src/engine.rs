@@ -131,6 +131,15 @@ impl<E> EventQueue<E> {
         self.executed += 1;
         Some((s.time, s.event))
     }
+
+    /// Advance the clock to `t` without dispatching (used by
+    /// [`Engine::run_until`] so a deadline leaves `now` at the deadline,
+    /// never before it).
+    fn advance_to(&mut self, t: Time) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
 }
 
 /// Dispatch trait for types that react to events; an alternative to passing a
@@ -202,8 +211,17 @@ impl<E> Engine<E> {
         self.queue.now()
     }
 
-    /// Run until the queue is empty or `deadline` passes (events after the
-    /// deadline stay queued). Returns the last dispatched time.
+    /// Run until the queue is empty or `deadline` passes; events scheduled
+    /// after the deadline stay queued.
+    ///
+    /// Time semantics: on return the clock reads exactly `deadline` — the
+    /// simulation has observed "nothing else happens up to the deadline",
+    /// so code resuming afterwards may schedule anywhere in
+    /// `(deadline, ∞)` but never before it (any still-pending events are
+    /// strictly later than the deadline). Returns the clock.
+    ///
+    /// The `max_events` safety valve applies here exactly as in
+    /// [`Engine::run_with`].
     pub fn run_until(
         &mut self,
         deadline: Time,
@@ -216,7 +234,15 @@ impl<E> Engine<E> {
             }
             let (now, ev) = self.queue.pop().expect("peeked");
             f(&mut self.queue, now, ev);
+            if self.max_events != 0 && self.queue.executed() > self.max_events {
+                panic!(
+                    "event limit exceeded ({} events executed, {} pending) — runaway simulation?",
+                    self.queue.executed(),
+                    self.queue.pending()
+                );
+            }
         }
+        self.queue.advance_to(deadline);
         self.queue.now()
     }
 }
@@ -288,9 +314,45 @@ mod tests {
             engine.queue_mut().post_at(Time::from_ns(i * 10), i);
         }
         let mut seen = Vec::new();
-        engine.run_until(Time::from_ns(50), |_, _, ev| seen.push(ev));
+        let end = engine.run_until(Time::from_ns(55), |_, _, ev| seen.push(ev));
         assert_eq!(seen, vec![1, 2, 3, 4, 5]);
         assert_eq!(engine.queue.pending(), 5);
+        // The clock reads the deadline, not the last dispatched event.
+        assert_eq!(end, Time::from_ns(55));
+        assert_eq!(engine.now(), Time::from_ns(55));
+        // Resuming picks up the remaining events.
+        let end = engine.run_until(Time::from_ns(1000), |_, _, ev| seen.push(ev));
+        assert_eq!(seen.len(), 10);
+        assert_eq!(end, Time::from_ns(1000));
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_queue_drains_early() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.queue_mut().post_at(Time::from_ns(5), 1);
+        let end = engine.run_until(Time::from_ns(100), |_, _, _| {});
+        assert_eq!(end, Time::from_ns(100));
+        // Post-deadline code cannot schedule before the deadline.
+        engine.queue_mut().post_at(Time::from_ns(100), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn run_until_forbids_scheduling_before_deadline_afterwards() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.queue_mut().post_at(Time::from_ns(5), 1);
+        engine.run_until(Time::from_ns(100), |_, _, _| {});
+        engine.queue_mut().post_at(Time::from_ns(50), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit exceeded")]
+    fn run_until_enforces_event_limit() {
+        let mut engine = Engine::with_limit(100);
+        engine.queue_mut().post_at(Time::ZERO, 0u32);
+        engine.run_until(Time::from_us(1000), |q, _, ev| {
+            q.post_in(Time::from_ns(1), ev);
+        });
     }
 
     #[test]

@@ -51,14 +51,18 @@ impl Gantt {
     }
 
     /// Record a busy interval.
-    pub fn record(
+    ///
+    /// The label is built lazily: on the per-packet hot path recording is
+    /// usually disabled, and this early-returns before any label
+    /// formatting or allocation happens.
+    pub fn record<L: Into<String>>(
         &mut self,
         rank: u32,
         lane: &str,
         start: Time,
         end: Time,
         glyph: char,
-        label: impl Into<String>,
+        label: impl FnOnce() -> L,
     ) {
         if !self.enabled || end <= start {
             return;
@@ -70,8 +74,24 @@ impl Gantt {
                 start,
                 end,
                 glyph,
-                label: label.into(),
+                label: label().into(),
             });
+    }
+
+    /// Lane name for HPU core `core` without allocating: the paper-scale
+    /// pools (≤ 32 cores) hit the interned table; larger ablations fall
+    /// back to a heap string.
+    pub fn hpu_lane(core: usize) -> std::borrow::Cow<'static, str> {
+        const LANES: [&str; 32] = [
+            "HPU0", "HPU1", "HPU2", "HPU3", "HPU4", "HPU5", "HPU6", "HPU7", "HPU8", "HPU9",
+            "HPU10", "HPU11", "HPU12", "HPU13", "HPU14", "HPU15", "HPU16", "HPU17", "HPU18",
+            "HPU19", "HPU20", "HPU21", "HPU22", "HPU23", "HPU24", "HPU25", "HPU26", "HPU27",
+            "HPU28", "HPU29", "HPU30", "HPU31",
+        ];
+        match LANES.get(core) {
+            Some(s) => std::borrow::Cow::Borrowed(s),
+            None => std::borrow::Cow::Owned(format!("HPU{core}")),
+        }
     }
 
     /// Number of spans recorded.
@@ -154,7 +174,7 @@ mod tests {
     #[test]
     fn disabled_records_nothing() {
         let mut g = Gantt::disabled();
-        g.record(0, "NIC", Time::ZERO, Time::from_ns(10), '#', "x");
+        g.record(0, "NIC", Time::ZERO, Time::from_ns(10), '#', || "x");
         assert_eq!(g.span_count(), 0);
         assert!(g.render(40).contains("empty"));
     }
@@ -162,15 +182,17 @@ mod tests {
     #[test]
     fn records_and_renders() {
         let mut g = Gantt::enabled();
-        g.record(0, "CPU", Time::ZERO, Time::from_ns(50), 'o', "post");
-        g.record(0, "NIC", Time::from_ns(50), Time::from_ns(150), '=', "tx");
+        g.record(0, "CPU", Time::ZERO, Time::from_ns(50), 'o', || "post");
+        g.record(0, "NIC", Time::from_ns(50), Time::from_ns(150), '=', || {
+            "tx"
+        });
         g.record(
             1,
             "HPU0",
             Time::from_ns(100),
             Time::from_ns(200),
             'H',
-            "payload",
+            || "payload",
         );
         assert_eq!(g.span_count(), 3);
         assert_eq!(g.makespan(), Time::from_ns(200));
@@ -185,14 +207,14 @@ mod tests {
     #[test]
     fn zero_length_span_ignored() {
         let mut g = Gantt::enabled();
-        g.record(0, "CPU", Time::from_ns(5), Time::from_ns(5), 'o', "noop");
+        g.record(0, "CPU", Time::from_ns(5), Time::from_ns(5), 'o', || "noop");
         assert_eq!(g.span_count(), 0);
     }
 
     #[test]
     fn spans_accessor() {
         let mut g = Gantt::enabled();
-        g.record(2, "DMA", Time::ZERO, Time::from_ns(7), 'd', "w");
+        g.record(2, "DMA", Time::ZERO, Time::from_ns(7), 'd', || "w");
         assert_eq!(g.spans(2, "DMA").len(), 1);
         assert!(g.spans(2, "CPU").is_empty());
         assert_eq!(g.spans(2, "DMA")[0].end, Time::from_ns(7));

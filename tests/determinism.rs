@@ -6,6 +6,12 @@
 
 use spin_apps::pingpong::{self, PingPongMode};
 use spin_core::config::{MachineConfig, NicKind};
+use spin_core::handlers::FnHandlers;
+use spin_core::host::{HostApi, HostProgram, MeSpec, PutArgs};
+use spin_core::world::{Report, SimBuilder};
+use spin_hpu::ctx::{CompletionRet, HeaderRet, PayloadRet};
+use spin_hpu::pool::HpuConfig;
+use spin_portals::types::UserHeader;
 
 #[test]
 fn every_transport_and_nic_kind_is_deterministic() {
@@ -50,4 +56,287 @@ fn transports_actually_differ() {
     assert_ne!(rdma, p4, "RDMA and Portals triggered-op paths identical");
     assert_ne!(rdma, spin, "RDMA and sPIN paths identical");
     assert!(spin < rdma, "offloaded reply should beat host-driven reply");
+}
+
+// --------------------------------------------- golden-report equivalence
+//
+// A fixed-seed scenario matrix covering every `DeliveryMode` (Rdma,
+// SpinProcess, SpinProceed, DropAll, Reply) with multi-packet messages,
+// acks, a get/reply pair, and a flow-control variant that exhausts HPU
+// contexts mid-message. The full `Report` (end time, event count, every
+// mark/value, per-node stats, network totals) is fingerprinted and pinned
+// against goldens captured before the zero-copy hot-path refactor — any
+// refactor of the packet path must reproduce these bit-for-bit.
+
+const MTU: usize = 4096;
+
+mod mem {
+    // Receiver-side layout (absolute host offsets).
+    pub const RDMA_DST: usize = 0x1_0000; // mb 1 target region
+    pub const SPIN_DST: usize = 0x3_0000; // mb 2 target region
+    pub const PROCEED_DST: usize = 0x5_0000; // mb 3 target region
+    pub const DROP_DST: usize = 0x7_0000; // mb 4 target region
+    pub const GET_SRC: usize = 0x9_0000; // mb 5 get source region
+                                         // Sender-side layout.
+    pub const SEND_SRC: usize = 0x1000;
+    pub const REPLY_DST: usize = 0xB_0000;
+}
+
+struct GoldenSender {
+    flow: bool,
+}
+
+impl HostProgram for GoldenSender {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        let len = 3 * MTU + 123; // multi-packet, ragged tail
+        let pattern: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        api.write_host(mem::SEND_SRC, &pattern);
+        if self.flow {
+            // Three overlapping multi-packet sPIN messages against a
+            // starved HPU pool: admissions fail mid-message, the PT
+            // disables, and later headers bounce off flow control.
+            for i in 0..3u64 {
+                api.put(
+                    PutArgs::from_host(1, 0, 2, mem::SEND_SRC, len)
+                        .with_user_hdr(UserHeader::from_u64_pair(len as u64, i))
+                        .with_hdr_data(i),
+                );
+            }
+            return;
+        }
+        // Rdma (plain Portals deposit), acked.
+        api.put(PutArgs::from_host(1, 0, 1, mem::SEND_SRC, len).with_ack());
+        // SpinProcess (header + payload + completion handlers).
+        api.put(
+            PutArgs::from_host(1, 0, 2, mem::SEND_SRC, len)
+                .with_user_hdr(UserHeader::from_u64_pair(len as u64, 7))
+                .with_hdr_data(42),
+        );
+        // SpinProceed (header handler elects the default deposit).
+        api.put(PutArgs::from_host(1, 0, 3, mem::SEND_SRC, len));
+        // DropAll (header handler drops the message body).
+        api.put(PutArgs::from_host(1, 0, 4, mem::SEND_SRC, len));
+        // Reply mode at this initiator: multi-packet get.
+        api.get(1, 0, 5, 0, 2 * MTU + 57, mem::REPLY_DST);
+    }
+
+    fn on_event(&mut self, ev: &spin_portals::eq::FullEvent, api: &mut HostApi<'_>) {
+        api.mark(format!(
+            "snd-{:?}-p{}-r{}-m{}",
+            ev.kind, ev.peer, ev.rlength, ev.mlength
+        ));
+    }
+}
+
+struct GoldenReceiver;
+
+impl HostProgram for GoldenReceiver {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        let hmem = api.hpu_alloc(64, None);
+        api.me_append(MeSpec::recv(0, 1, (mem::RDMA_DST, 1 << 16)));
+        let spin = FnHandlers::new()
+            .on_header(|ctx, args, state| {
+                ctx.compute_cycles(50);
+                state.put_u64(0, args.header.user_hdr.u64_at(0))?;
+                Ok(HeaderRet::ProcessData)
+            })
+            .on_payload(|ctx, args, state| {
+                ctx.compute_cycles(20 + args.data.len() as u64 / 8);
+                state.fetch_add_u64(8, args.data.len() as u64)?;
+                ctx.dma_to_host_b(spin_hpu::ctx::MemRegion::MeHost, args.offset, args.data)?;
+                Ok(PayloadRet::Success)
+            })
+            .on_completion(|ctx, _info, state| {
+                ctx.compute_cycles(30);
+                state.put_bool(16, true)?;
+                Ok(CompletionRet::Success)
+            })
+            .build();
+        api.me_append(MeSpec::recv(0, 2, (mem::SPIN_DST, 1 << 16)).with_handlers(spin, hmem));
+        let proceed = FnHandlers::new()
+            .on_header(|ctx, _args, _state| {
+                ctx.compute_cycles(40);
+                Ok(HeaderRet::Proceed)
+            })
+            .build();
+        api.me_append(
+            MeSpec::recv(0, 3, (mem::PROCEED_DST, 1 << 16)).with_stateless_handlers(proceed),
+        );
+        let drop_all = FnHandlers::new()
+            .on_header(|ctx, _args, _state| {
+                ctx.compute_cycles(25);
+                Ok(HeaderRet::Drop)
+            })
+            .on_completion(|ctx, info, _state| {
+                ctx.compute_cycles(10 + info.dropped_bytes as u64 / 64);
+                Ok(CompletionRet::Success)
+            })
+            .build();
+        api.me_append(
+            MeSpec::recv(0, 4, (mem::DROP_DST, 1 << 16)).with_stateless_handlers(drop_all),
+        );
+        let get_pattern: Vec<u8> = (0..2 * MTU + 57).map(|i| (i * 17 % 241) as u8).collect();
+        api.write_host(mem::GET_SRC, &get_pattern);
+        api.me_append(MeSpec::recv(0, 5, (mem::GET_SRC, 1 << 16)));
+        api.mark("recv-armed");
+    }
+
+    fn on_event(&mut self, ev: &spin_portals::eq::FullEvent, api: &mut HostApi<'_>) {
+        api.mark(format!(
+            "rcv-{:?}-p{}-r{}-m{}",
+            ev.kind, ev.peer, ev.rlength, ev.mlength
+        ));
+    }
+}
+
+struct FlowReceiver;
+
+impl HostProgram for FlowReceiver {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        let hmem = api.hpu_alloc(64, None);
+        let slow = FnHandlers::new()
+            .on_header(|ctx, _args, _state| {
+                ctx.compute_cycles(100);
+                Ok(HeaderRet::ProcessData)
+            })
+            .on_payload(|ctx, args, state| {
+                // ~200 us per packet: saturates 1 core x 1 context. The
+                // deposit makes the schedule NIC-kind-dependent (DMA
+                // latency differs between discrete and integrated).
+                ctx.compute_cycles(500_000);
+                state.fetch_add_u64(0, 1)?;
+                ctx.dma_to_host_b(spin_hpu::ctx::MemRegion::MeHost, args.offset, args.data)?;
+                Ok(PayloadRet::Success)
+            })
+            .on_completion(|ctx, info, _state| {
+                ctx.compute_cycles(10 + info.dropped_bytes as u64 / 64);
+                Ok(CompletionRet::Success)
+            })
+            .build();
+        api.me_append(MeSpec::recv(0, 2, (mem::SPIN_DST, 1 << 16)).with_handlers(slow, hmem));
+        api.mark("flow-armed");
+    }
+
+    fn on_event(&mut self, ev: &spin_portals::eq::FullEvent, api: &mut HostApi<'_>) {
+        api.mark(format!("flow-{:?}-p{}-m{}", ev.kind, ev.peer, ev.mlength));
+    }
+}
+
+/// Render every observable of a report into one stable string.
+fn fingerprint(r: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "end={} events={}", r.end_time.ps(), r.events_executed).unwrap();
+    for (rank, label, t) in &r.marks {
+        writeln!(out, "mark r{rank} {label} @{}", t.ps()).unwrap();
+    }
+    for (rank, label, v) in &r.values {
+        writeln!(out, "value r{rank} {label} = {v}").unwrap();
+    }
+    for (i, s) in r.node_stats.iter().enumerate() {
+        writeln!(
+            out,
+            "node{i} dma={}b/{}r/{}w host={}b hpu={}a/{}rj busy={} fc={} drop={} runs={:?} errs={}",
+            s.dma_bytes,
+            s.dma_reads,
+            s.dma_writes,
+            s.host_mem_bytes,
+            s.hpu_admitted,
+            s.hpu_rejected,
+            s.hpu_busy_ns,
+            s.flow_control_events,
+            s.packets_dropped,
+            s.handler_runs,
+            s.handler_errors,
+        )
+        .unwrap();
+    }
+    writeln!(out, "net packets={} bytes={}", r.net_packets, r.net_bytes).unwrap();
+    out
+}
+
+fn golden_scenario(nic: NicKind, flow: bool) -> Report {
+    let mut config = MachineConfig::paper(nic);
+    if flow {
+        config.hpu = HpuConfig {
+            cores: 1,
+            contexts_per_hpu: 1,
+            yield_on_dma: false,
+        };
+    }
+    let receiver: Box<dyn HostProgram> = if flow {
+        Box::new(FlowReceiver)
+    } else {
+        Box::new(GoldenReceiver)
+    };
+    SimBuilder::new(config)
+        .add_node(Box::new(GoldenSender { flow }))
+        .add_node(receiver)
+        .run()
+        .report
+}
+
+/// FNV-1a over the fingerprint text: one stable u64 per scenario keeps the
+/// goldens readable while pinning every field. On mismatch the test prints
+/// the full fingerprint for diffing.
+fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn golden_report_equivalence_matrix() {
+    // Captured from the pre-refactor tree (commit b09e090): the zero-copy
+    // hot path must not change a single observable.
+    let goldens = [
+        (NicKind::Discrete, false, 0xfd6f8a98aa6c2610u64),
+        (NicKind::Discrete, true, 0x2ed4295799286d89u64),
+        (NicKind::Integrated, false, 0x1716610ac9578ab5u64),
+        (NicKind::Integrated, true, 0x085168d9f93580ebu64),
+    ];
+    for (nic, flow, want) in goldens {
+        let fp = fingerprint(&golden_scenario(nic, flow));
+        let got = fnv1a(&fp);
+        if std::env::var_os("GOLDEN_CAPTURE").is_some() {
+            eprintln!("({nic:?}, {flow}, {got:#x}u64),");
+            continue;
+        }
+        assert_eq!(
+            got, want,
+            "golden report diverged for {nic:?}/flow={flow} (hash {got:#x}):\n{fp}"
+        );
+    }
+}
+
+#[test]
+fn golden_scenarios_exercise_every_delivery_mode() {
+    // Guard against the matrix passing vacuously: the normal scenario must
+    // run all three handler stages and move acked/replied data; the flow
+    // scenario must actually reject admissions and drop packets.
+    let normal = golden_scenario(NicKind::Discrete, false);
+    let stats = &normal.node_stats[1];
+    let (hdr, pay, cpl) = stats.handler_runs;
+    assert!(hdr >= 3, "header handlers ran: {hdr}");
+    assert!(pay >= 4, "payload handlers ran per packet: {pay}");
+    assert!(cpl >= 2, "completion handlers ran: {cpl}");
+    assert!(normal
+        .marks
+        .iter()
+        .any(|(r, l, _)| *r == 0 && l.contains("snd-Ack")));
+    assert!(normal
+        .marks
+        .iter()
+        .any(|(r, l, _)| *r == 0 && l.contains("snd-Reply")));
+    let flow = golden_scenario(NicKind::Discrete, true);
+    let fstats = &flow.node_stats[1];
+    assert!(fstats.hpu_rejected > 0, "flow scenario rejected admissions");
+    assert!(fstats.flow_control_events > 0, "flow control fired");
+    assert!(
+        flow.marks.iter().any(|(_, l, _)| l.contains("PtDisabled")),
+        "PtDisabled reached the host"
+    );
 }
