@@ -19,7 +19,9 @@
 //! * [`graph`] — §5.4: BFS/SSSP vertex-update handlers;
 //! * [`ftbcast`] — §5.4: fault-tolerant broadcast with NIC-side duplicate
 //!   suppression;
-//! * [`txlog`] — §5.4: distributed-transaction access logging.
+//! * [`txlog`] — §5.4: distributed-transaction access logging;
+//! * [`saturate`] — incast overload driving the §3.2 flow-control recovery
+//!   handshake closed-loop (beyond the paper's own figure set).
 
 pub mod accumulate;
 pub mod bcast;
@@ -31,4 +33,5 @@ pub mod kvstore;
 pub mod matching;
 pub mod pingpong;
 pub mod raid;
+pub mod saturate;
 pub mod txlog;

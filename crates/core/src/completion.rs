@@ -65,9 +65,14 @@ impl World {
                         }
                     }
                 }
-                if pending {
+                if pending && !ch.flow_control {
                     // Park the completion until a follow-up (e.g. the
-                    // rendezvous get) finishes.
+                    // rendezvous get) finishes. The data is consumed, so the
+                    // transport-level recovery ack (when no ULP ack will
+                    // follow) goes out now rather than at the deferred
+                    // completion. Flow control takes priority over pending:
+                    // a dropped message must be NACKed (below), never parked
+                    // and positively acked.
                     let event = self.put_event(&ch);
                     self.nodes[n as usize].nic.deferred.insert(
                         msg_id,
@@ -79,8 +84,32 @@ impl World {
                             src_msg_id: ch.src_msg_id,
                         },
                     );
-                } else if !(ch.mode == DeliveryMode::DropAll && ch.flow_control) {
+                    if self.config.recovery.is_some() && ch.ack == AckReq::None {
+                        self.send_ack(q, end, n, ch.header.source_id, ch.src_msg_id);
+                    }
+                } else if !ch.flow_control {
                     self.complete_message(q, end, n, &ch);
+                } else {
+                    // Flow control hit this message: §3.2 drops it entirely
+                    // — no completion event (the seed delivered a partial
+                    // `Put` for mid-message exhaustion). With recovery
+                    // enabled the initiator is NACKed for retransmission.
+                    // (The completion handler above still ran — it is the
+                    // teardown notification, and `CompletionInfo::
+                    // flow_control_triggered` tells it the attempt was
+                    // dropped so it can keep its side effects idempotent
+                    // across the retransmit.)
+                    if self.config.recovery.is_some() {
+                        self.nodes[n as usize].nic.stats.nacks_sent += 1;
+                        crate::recovery::post_nack(
+                            q,
+                            end,
+                            n,
+                            ch.header.source_id,
+                            ch.pt,
+                            ch.src_msg_id,
+                        );
+                    }
                 }
             }
         }
@@ -120,7 +149,15 @@ impl World {
         if let Some(ct) = ch.ct {
             q.post_at(t, Ev::CtInc(n, ct, 1));
         }
-        if ch.ack != AckReq::None {
+        // With recovery enabled every consumed Put is acked at the
+        // transport level so the initiator can retire its retransmit state
+        // (piggybacked on the ULP ack when one was requested).
+        let transport_ack = self.config.recovery.is_some()
+            && matches!(
+                ch.header.op,
+                spin_portals::types::OpKind::Put | spin_portals::types::OpKind::Atomic(_)
+            );
+        if ch.ack != AckReq::None || transport_ack {
             self.send_ack(q, t, n, ch.header.source_id, ch.src_msg_id);
         }
     }

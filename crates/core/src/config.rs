@@ -64,6 +64,46 @@ impl Default for HostParams {
     }
 }
 
+/// Closed-loop flow-control recovery parameters (§3.2): when set, a
+/// message bouncing off a disabled portal table entry is NACKed back to
+/// the initiator, which queues it, backs off, probes, and replays in
+/// order; the target NIC automatically re-enables the entry once its
+/// EQ/HPU contexts drain and an ME is available. When `None` (the paper's
+/// baseline behaviour), recovery is manual: the host must call
+/// `PtlPTEnable` and dropped messages are lost.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// Initial sender backoff after a `PtDisabled` NACK.
+    pub backoff: Time,
+    /// Exponential backoff cap (doubles on every failed probe).
+    pub max_backoff: Time,
+    /// Receiver-side drain-poll cadence while a PT is disabled.
+    pub drain_interval: Time,
+    /// Minimum time a PT stays disabled before automatic re-enable. Keeps
+    /// the entry closed long enough that every message already in flight
+    /// when it disabled has bounced (and been NACKed), so replays cannot be
+    /// overtaken by stragglers racing the re-enable — per-pair ordering
+    /// survives the episode.
+    pub reenable_guard: Time,
+    /// Consecutive failed probes before a sender abandons a `(peer, PT)`
+    /// episode and drops its queued messages (delivery failure, counted in
+    /// `NicStats::recovery_abandoned`). Bounds the retry loop so a target
+    /// that never re-enables cannot keep the simulation alive forever.
+    pub max_probes: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            backoff: Time::from_us(1),
+            max_backoff: Time::from_us(4),
+            drain_interval: Time::from_ns(200),
+            reenable_guard: Time::from_us(2),
+            max_probes: 64,
+        }
+    }
+}
+
 /// The full machine configuration for one simulation.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -83,6 +123,8 @@ pub struct MachineConfig {
     pub num_pts: usize,
     /// OS noise on host cores (None = noiseless).
     pub noise: Option<NoiseModel>,
+    /// Closed-loop flow-control recovery (None = manual `PtlPTEnable`).
+    pub recovery: Option<RecoveryConfig>,
     /// Record Gantt timelines (costs memory; for examples/debugging).
     pub record_gantt: bool,
     /// RNG seed for noise streams.
@@ -101,9 +143,16 @@ impl MachineConfig {
             eq_capacity: 1 << 16,
             num_pts: 8,
             noise: None,
+            recovery: None,
             record_gantt: false,
             seed: 0xC0FFEE,
         }
+    }
+
+    /// Enable closed-loop flow-control recovery with default parameters.
+    pub fn with_recovery(mut self) -> Self {
+        self.recovery = Some(RecoveryConfig::default());
+        self
     }
 
     /// Discrete-NIC paper configuration.

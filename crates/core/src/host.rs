@@ -17,7 +17,9 @@ use bytes::Bytes;
 use spin_portals::ct::{CtEvent, CtHandle, TriggeredAction, TriggeredOp};
 use spin_portals::eq::FullEvent;
 use spin_portals::me::{HandlerRef, ListKind, MatchEntry, MeHandle, MeOptions};
-use spin_portals::types::{AckReq, MatchBits, OpKind, ProcessId, UserHeader, ANY_PROCESS};
+use spin_portals::types::{
+    AckReq, MatchBits, OpKind, ProcessId, PtlAckType, UserHeader, ANY_PROCESS,
+};
 use spin_sim::engine::EventQueue;
 use spin_sim::noise::NoiseSource;
 use spin_sim::resource::{BandwidthChannel, PooledResource};
@@ -329,6 +331,7 @@ impl<'a> HostApi<'a> {
             user_hdr: args.user_hdr,
             payload: args.payload,
             ack: args.ack,
+            ack_type: PtlAckType::Ok,
             reply_dest: 0,
             notify: if args.ack == AckReq::None {
                 Notify::None
@@ -336,6 +339,7 @@ impl<'a> HostApi<'a> {
                 Notify::Host
             },
             msg_id: 0,
+            attempt: 0,
             answers: 0,
         };
         self.q
@@ -485,9 +489,21 @@ impl<'a> HostApi<'a> {
     }
 
     /// Re-enable a portal table entry after flow control (`PtlPTEnable`).
+    /// With recovery enabled, the host-managed episode is charged to the
+    /// same disabled-time accounting the NIC's drain-and-re-enable uses.
     pub fn pt_enable(&mut self, pt: u32) {
         self.charge_o("pt_enable");
-        self.world.nodes[self.node as usize].nic.ni.pt_enable(pt);
+        let node = &mut self.world.nodes[self.node as usize];
+        node.nic.ni.pt_enable(pt);
+        if let Some(disabled_at) = node.nic.recovery.drain_resolved(pt) {
+            node.nic.stats.pt_reenables += 1;
+            node.nic.stats.pt_disabled_ns += self.cursor.saturating_sub(disabled_at).ns();
+            let n = self.node;
+            let end = self.cursor;
+            self.world.gantt.record(n, "PT", disabled_at, end, 'x', || {
+                format!("pt{pt} disabled")
+            });
+        }
     }
 
     /// Copy `len` bytes within host memory, charging CPU + memory bandwidth

@@ -28,15 +28,17 @@ pub mod handlers;
 pub mod host;
 pub mod msg;
 pub mod nic;
+pub mod recovery;
 mod recv;
 mod runtime;
 mod send;
 pub mod world;
 
-pub use config::{HostParams, MachineConfig, NicKind};
+pub use config::{HostParams, MachineConfig, NicKind, RecoveryConfig};
 pub use handlers::{FnHandlers, Handlers, HeaderArgs, PayloadArgs};
 pub use host::{HostApi, HostProgram, MeSpec, PutArgs};
 pub use msg::{Notify, OutMsg, PayloadSpec};
+pub use recovery::RecoveryManager;
 pub use world::{Report, SimBuilder, World};
 
 /// Crate-wide result alias for handler code: `Err` is the model's SEGV.

@@ -2,7 +2,7 @@
 //! send path.
 
 use bytes::Bytes;
-use spin_portals::types::{AckReq, MatchBits, OpKind, ProcessId, UserHeader};
+use spin_portals::types::{AckReq, MatchBits, OpKind, ProcessId, PtlAckType, UserHeader};
 
 /// Where the payload of an outgoing message comes from.
 #[derive(Debug, Clone)]
@@ -84,6 +84,9 @@ pub struct OutMsg {
     pub payload: PayloadSpec,
     /// Acknowledgement requested.
     pub ack: AckReq,
+    /// For `Ack` messages: positive ack vs `PtDisabled` NACK (§3.2
+    /// recovery handshake). `Ok` on everything else.
+    pub ack_type: PtlAckType,
     /// For `Get`: where the reply deposits at the initiator (absolute host
     /// offset). For `Reply`: ditto (copied from the request).
     pub reply_dest: usize,
@@ -91,6 +94,10 @@ pub struct OutMsg {
     pub notify: Notify,
     /// Message id; 0 = assign at injection.
     pub msg_id: u64,
+    /// Retransmission attempt (0 = first transmission; bumped by the
+    /// flow-control recovery machinery on every probe/replay so receivers
+    /// can discard stragglers of earlier attempts).
+    pub attempt: u32,
     /// For `Reply`/`Ack`: the request's msg_id being answered.
     pub answers: u64,
 }
@@ -115,9 +122,11 @@ impl OutMsg {
             user_hdr: UserHeader::empty(),
             payload: PayloadSpec::Inline(payload),
             ack: AckReq::None,
+            ack_type: PtlAckType::Ok,
             reply_dest: 0,
             notify: Notify::None,
             msg_id: 0,
+            attempt: 0,
             answers: 0,
         }
     }

@@ -10,6 +10,7 @@
 use crate::config::MachineConfig;
 use crate::handlers::HandlerSet;
 use crate::msg::Notify;
+use crate::recovery::RecoveryManager;
 use spin_hpu::cam::Cam;
 use spin_hpu::dma::DmaEngine;
 use spin_hpu::memory::HpuMemory;
@@ -66,6 +67,10 @@ pub struct Channel {
     pub handler_region: (usize, usize),
     /// Total packets in the message.
     pub total_packets: u32,
+    /// Retransmission attempt that installed this channel: follow-on
+    /// packets of earlier attempts (stragglers of a flow-control-bounced
+    /// transmission) are discarded instead of absorbed into the assembly.
+    pub attempt: u32,
     /// Packets processed (or dropped) so far.
     pub processed: u32,
     /// Bytes of user header at the front of the payload.
@@ -154,6 +159,25 @@ pub struct NicStats {
     /// and always runs — but context exhaustion at that point is a sizing
     /// signal, so it is counted rather than silently absorbed).
     pub forced_completion_admissions: u64,
+    /// `PtDisabled` NACKs sent by this NIC as a flow-control target.
+    pub nacks_sent: u64,
+    /// `PtDisabled` NACKs received by this NIC as an initiator.
+    pub recovery_nacks: u64,
+    /// Backoff rounds entered (first NACK of an episode, or a failed probe).
+    pub recovery_backoffs: u64,
+    /// Probes retransmitted after a backoff expired.
+    pub recovery_probes: u64,
+    /// Messages retransmitted (probes + in-order replays).
+    pub recovery_retransmits: u64,
+    /// New sends held on the retransmit queue while their pair recovered.
+    pub recovery_held: u64,
+    /// Queued messages dropped after `max_probes` consecutive probe
+    /// failures (the target never re-enabled: delivery failure).
+    pub recovery_abandoned: u64,
+    /// Portal table entries automatically re-enabled after draining.
+    pub pt_reenables: u64,
+    /// Aggregate time (ns) PTs spent disabled before automatic re-enable.
+    pub pt_disabled_ns: f64,
 }
 
 /// The NIC runtime.
@@ -178,6 +202,8 @@ pub struct Nic {
     pub pending_sends: HashMap<u64, PendingSend>,
     /// Parked completions by original message id.
     pub deferred: HashMap<u64, DeferredCompletion>,
+    /// Closed-loop flow-control recovery state (§3.2 handshake).
+    pub recovery: RecoveryManager,
     /// Counters.
     pub stats: NicStats,
 }
@@ -199,6 +225,7 @@ impl Nic {
             handlers: Vec::new(),
             pending_sends: HashMap::new(),
             deferred: HashMap::new(),
+            recovery: RecoveryManager::new(config.recovery),
             stats: NicStats::default(),
         }
     }

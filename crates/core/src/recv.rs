@@ -21,7 +21,7 @@ use spin_hpu::ctx::{HeaderRet, PayloadRet};
 use spin_portals::ct::CtHandle;
 use spin_portals::eq::{EventKind, FullEvent};
 use spin_portals::ni::HeaderDisposition;
-use spin_portals::types::{AckReq, OpKind, Packet};
+use spin_portals::types::{AckReq, OpKind, Packet, PtlAckType};
 use spin_sim::engine::EventQueue;
 use spin_sim::time::Time;
 use std::sync::Arc;
@@ -39,6 +39,31 @@ impl World {
     }
 
     fn on_ack(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: &Packet) {
+        if pkt.header.ack_type == PtlAckType::PtDisabled {
+            // §3.2 recovery NACK: the message bounced off a disabled PT at
+            // the target — queue it for retransmission and back off.
+            self.on_recovery_nack(
+                q,
+                now,
+                n,
+                pkt.header.source_id,
+                pkt.header.pt_index,
+                pkt.header.hdr_data,
+            );
+            return;
+        }
+        // Transport-level delivery confirmation: retire in-flight recovery
+        // state; an acked probe releases the in-order replay of the queue.
+        // Replays inject at `now`: the pair is Idle from this instant, so
+        // any later host send to it transmits directly — the queue must be
+        // in the send path first to keep per-pair ordering.
+        if let crate::recovery::AckStep::Replay(ids) = self.nodes[n as usize]
+            .nic
+            .recovery
+            .on_ack_ok(now, pkt.header.hdr_data)
+        {
+            self.replay_queue(q, now, n, ids);
+        }
         let Some(pending) = self.nodes[n as usize]
             .nic
             .pending_sends
@@ -91,15 +116,23 @@ impl World {
                     user_hdr: Default::default(),
                     payload: PayloadSpec::Inline(data),
                     ack: AckReq::None,
+                    ack_type: PtlAckType::Ok,
                     reply_dest: 0,
                     notify: Notify::None,
                     msg_id: 0,
+                    attempt: 0,
                     answers: pkt.msg_id,
                 };
                 q.post_at(t.complete, Ev::NicInject(n, Box::new(reply)));
             }
             HeaderDisposition::FlowControl => {
-                self.nodes[n as usize].nic.stats.flow_control_events += 1;
+                let nic = &mut self.nodes[n as usize].nic;
+                nic.stats.flow_control_events += 1;
+                // Gets are not retransmitted by the recovery subsystem, but
+                // the drain-and-re-enable policy still applies to the PT.
+                if let Some(at) = nic.recovery.note_pt_disabled(match_done, hdr.pt_index) {
+                    q.post_at(at, Ev::DrainCheck(n, hdr.pt_index));
+                }
                 let ev = FullEvent::simple(EventKind::PtDisabled, hdr.source_id, hdr.match_bits, 0);
                 self.dispatch_event(q, match_done, n, ev);
             }
@@ -132,6 +165,7 @@ impl World {
                 hpu_mem: None,
                 handler_region: (0, 0),
                 total_packets: pkt.total,
+                attempt: pkt.attempt,
                 processed: 0,
                 user_hdr_len: 0,
                 header_done: done,
@@ -164,6 +198,7 @@ impl World {
 
     fn on_put_header(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: Packet) {
         let match_done = now + cost::MATCH_HEADER;
+        let recovery_on = self.config.recovery.is_some();
         let hdr = Arc::clone(&pkt.header);
         let msg_id = pkt.msg_id;
         let start_at;
@@ -181,6 +216,20 @@ impl World {
                 HeaderDisposition::Matched(o) => o,
                 HeaderDisposition::FlowControl => {
                     ctx.stats.flow_control_events += 1;
+                    if let Some(at) = ctx.recovery.note_pt_disabled(match_done, hdr.pt_index) {
+                        q.post_at(at, Ev::DrainCheck(n, hdr.pt_index));
+                    }
+                    if recovery_on {
+                        ctx.stats.nacks_sent += 1;
+                        crate::recovery::post_nack(
+                            q,
+                            match_done,
+                            n,
+                            hdr.source_id,
+                            hdr.pt_index,
+                            msg_id,
+                        );
+                    }
                     let ev =
                         FullEvent::simple(EventKind::PtDisabled, hdr.source_id, hdr.match_bits, 0);
                     ctx.deliver_event(q, match_done, ev);
@@ -188,6 +237,19 @@ impl World {
                 }
                 HeaderDisposition::Dropped => {
                     ctx.stats.packets_dropped += 1;
+                    // The PT was already disabled: NACK so the initiator
+                    // queues the message instead of losing it.
+                    if recovery_on {
+                        ctx.stats.nacks_sent += 1;
+                        crate::recovery::post_nack(
+                            q,
+                            match_done,
+                            n,
+                            hdr.source_id,
+                            hdr.pt_index,
+                            msg_id,
+                        );
+                    }
                     return;
                 }
             };
@@ -205,6 +267,7 @@ impl World {
                 hpu_mem: entry.hpu_memory,
                 handler_region: entry.handler_mem,
                 total_packets: pkt.total,
+                attempt: pkt.attempt,
                 processed: 0,
                 user_hdr_len: hdr.user_hdr.len(),
                 header_done: match_done,
@@ -228,8 +291,14 @@ impl World {
                     match ctx.pool.admit(match_done) {
                         None => {
                             // No HPU contexts: flow control for the whole
-                            // message.
+                            // message — and drop the rest of it. (The seed
+                            // left the channel in `Rdma` mode here, so the
+                            // packets were still deposited and a successful
+                            // `Put` event followed the `PtDisabled` one;
+                            // §3.2 drops the flow-controlled message
+                            // entirely.)
                             ctx.flow_control_message(q, split.ni, match_done, &mut ch);
+                            ch.mode = DeliveryMode::DropAll;
                         }
                         Some(core) => {
                             let (end, ret) = ctx.run_header(q, core, match_done, &ch, &hs);
@@ -271,6 +340,20 @@ impl World {
                 // CAM exhausted: treat as flow control (drop message).
                 ctx.stats.flow_control_events += 1;
                 split.ni.pt_disable(hdr.pt_index);
+                if let Some(at) = ctx.recovery.note_pt_disabled(match_done, hdr.pt_index) {
+                    q.post_at(at, Ev::DrainCheck(n, hdr.pt_index));
+                }
+                if recovery_on {
+                    ctx.stats.nacks_sent += 1;
+                    crate::recovery::post_nack(
+                        q,
+                        match_done,
+                        n,
+                        hdr.source_id,
+                        hdr.pt_index,
+                        msg_id,
+                    );
+                }
                 let ev = FullEvent::simple(EventKind::PtDisabled, hdr.source_id, hdr.match_bits, 0);
                 ctx.deliver_event(q, match_done, ev);
                 return;
@@ -281,10 +364,14 @@ impl World {
 
     fn on_follow_packet(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: Packet) {
         let done = now + cost::MATCH_CAM;
+        // The CAM channel belongs to one retransmission attempt; a
+        // straggler packet of an earlier (flow-control-bounced) attempt
+        // of the same message must not be absorbed into the assembly.
         let Some(ready) = self.nodes[n as usize]
             .nic
             .cam
             .peek(pkt.msg_id)
+            .filter(|c| c.attempt == pkt.attempt)
             .map(|c| c.header_done.max(done))
         else {
             self.nodes[n as usize].nic.stats.packets_dropped += 1;

@@ -12,6 +12,7 @@
 use crate::handlers::{HandlerSet, HeaderArgs, PayloadArgs};
 use crate::msg::{Notify, OutMsg, PayloadSpec};
 use crate::nic::{Channel, NicStats};
+use crate::recovery::RecoveryManager;
 use crate::world::Ev;
 use bytes::Bytes;
 use spin_hpu::cam::Cam;
@@ -21,7 +22,7 @@ use spin_hpu::memory::{HostMemory, HpuMemory, Segv};
 use spin_hpu::pool::HpuPool;
 use spin_portals::eq::{EventKind, FullEvent};
 use spin_portals::ni::PortalsNi;
-use spin_portals::types::{AckReq, OpKind};
+use spin_portals::types::{AckReq, OpKind, PtlAckType};
 use spin_sim::engine::EventQueue;
 use spin_sim::gantt::Gantt;
 use spin_sim::time::Time;
@@ -56,6 +57,8 @@ pub(crate) struct NodeCtx<'a> {
     pub scratch: &'a mut HpuMemory,
     /// NIC counters.
     pub stats: &'a mut NicStats,
+    /// Flow-control recovery state (drain scheduling on the packet path).
+    pub recovery: &'a mut RecoveryManager,
     /// Host DRAM.
     pub mem: &'a mut HostMemory,
     /// Gantt recorder.
@@ -111,7 +114,9 @@ impl NodeCtx<'_> {
     }
 
     /// Trigger §3.2 flow control for `ch`'s whole message: disable the PT
-    /// and notify the host. Mutates the channel in place.
+    /// and notify the host. With recovery enabled, also start the
+    /// drain-and-re-enable poll for the entry. Mutates the channel in
+    /// place.
     pub fn flow_control_message(
         &mut self,
         q: &mut EventQueue<Ev>,
@@ -122,6 +127,9 @@ impl NodeCtx<'_> {
         ch.flow_control = true;
         self.stats.flow_control_events += 1;
         ni.pt_disable(ch.pt);
+        if let Some(at) = self.recovery.note_pt_disabled(t, ch.pt) {
+            q.post_at(at, Ev::DrainCheck(self.n, ch.pt));
+        }
         let ev = FullEvent::simple(
             EventKind::PtDisabled,
             ch.header.source_id,
@@ -306,9 +314,11 @@ pub(crate) fn apply_action(
                 user_hdr,
                 payload: PayloadSpec::Inline(payload),
                 ack: AckReq::None,
+                ack_type: PtlAckType::Ok,
                 reply_dest: 0,
                 notify: Notify::None,
                 msg_id: 0,
+                attempt: 0,
                 answers: 0,
             };
             q.post_at(t, Ev::NicInject(n, Box::new(msg)));
@@ -337,9 +347,11 @@ pub(crate) fn apply_action(
                     charge_dma: true,
                 },
                 ack: AckReq::None,
+                ack_type: PtlAckType::Ok,
                 reply_dest: 0,
                 notify: Notify::None,
                 msg_id: 0,
+                attempt: 0,
                 answers: 0,
             };
             q.post_at(t, Ev::NicInject(n, Box::new(msg)));
@@ -362,9 +374,11 @@ pub(crate) fn apply_action(
                 user_hdr: Default::default(),
                 payload: PayloadSpec::None { len: length },
                 ack: AckReq::None,
+                ack_type: PtlAckType::Ok,
                 reply_dest: env.me_start + me_offset,
                 notify: Notify::Channel(env.src_msg_id),
                 msg_id: 0,
+                attempt: 0,
                 answers: 0,
             };
             q.post_at(t, Ev::NicInject(n, Box::new(msg)));

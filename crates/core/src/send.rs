@@ -11,7 +11,7 @@ use crate::nic::PendingSend;
 use crate::world::{Ev, World};
 use bytes::{Bytes, BytesMut};
 use spin_portals::ct::TriggeredAction;
-use spin_portals::types::{AckReq, OpKind, Packet, PtlHeader};
+use spin_portals::types::{AckReq, OpKind, Packet, PtlAckType, PtlHeader};
 use spin_sim::engine::EventQueue;
 use spin_sim::time::Time;
 use std::sync::Arc;
@@ -21,6 +21,17 @@ impl World {
     pub(crate) fn inject(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, mut msg: OutMsg) {
         if msg.msg_id == 0 {
             msg.msg_id = self.next_msg_id();
+        }
+        // §3.2 recovery: register recoverable messages with the retransmit
+        // machinery; while the (dst, pt) pair is recovering, new sends are
+        // held on the retransmit queue so per-pair ordering survives.
+        // Probe/replay re-injections (already tracked) always transmit.
+        match self.nodes[n as usize].nic.recovery.on_send(&msg) {
+            crate::recovery::SendStep::Hold => {
+                self.nodes[n as usize].nic.stats.recovery_held += 1;
+                return;
+            }
+            crate::recovery::SendStep::Transmit => {}
         }
         let is_get = matches!(msg.op, OpKind::Get);
         // Materialize payload bytes and the time the data is ready at the NIC.
@@ -63,6 +74,7 @@ impl World {
             user_hdr: msg.user_hdr.clone(),
             pt_index: msg.pt,
             ack_req: msg.ack,
+            ack_type: msg.ack_type,
         });
         // Register initiator-side completion state.
         let needs_pending = is_get || msg.notify != Notify::None || msg.ack != AckReq::None;
@@ -102,6 +114,7 @@ impl World {
                 index: i,
                 total,
                 offset: off,
+                attempt: msg.attempt,
                 payload: full.slice(off..off + size),
                 header: Arc::clone(&header),
             };
@@ -130,9 +143,11 @@ impl World {
             user_hdr: Default::default(),
             payload: PayloadSpec::Inline(Bytes::new()),
             ack: AckReq::None,
+            ack_type: PtlAckType::Ok,
             reply_dest: 0,
             notify: Notify::None,
             msg_id: 0,
+            attempt: 0,
             answers,
         };
         q.post_at(t, Ev::NicInject(n, Box::new(msg)));
@@ -179,6 +194,7 @@ impl World {
                         charge_dma: false,
                     },
                     ack,
+                    ack_type: PtlAckType::Ok,
                     reply_dest: 0,
                     notify: if ack == AckReq::None {
                         Notify::None
@@ -186,6 +202,7 @@ impl World {
                         Notify::Host
                     },
                     msg_id: 0,
+                    attempt: 0,
                     answers: 0,
                 };
                 q.post_at(now, Ev::NicInject(n, Box::new(msg)));
@@ -209,9 +226,11 @@ impl World {
                     user_hdr: Default::default(),
                     payload: PayloadSpec::None { len: length },
                     ack: AckReq::None,
+                    ack_type: PtlAckType::Ok,
                     reply_dest: local_offset,
                     notify: Notify::Host,
                     msg_id: 0,
+                    attempt: 0,
                     answers: 0,
                 };
                 q.post_at(now, Ev::NicInject(n, Box::new(msg)));

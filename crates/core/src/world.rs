@@ -64,6 +64,12 @@ pub enum Ev {
     CtInc(u32, CtHandle, u64),
     /// Set a NIC counter.
     CtSet(u32, CtHandle, u64),
+    /// Sender-side flow-control recovery backoff expired for
+    /// `(node, peer, pt)`: retransmit the probe (§3.2 recovery handshake).
+    RecoveryTimer(u32, u32, u32),
+    /// Receiver-side drain poll for `(node, pt)`: re-enable the portal
+    /// table entry once its channels, HPU contexts, and MEs have drained.
+    DrainCheck(u32, u32),
 }
 
 /// The complete machine state.
@@ -141,6 +147,7 @@ impl World {
             scratch,
             handlers,
             stats,
+            recovery,
             ..
         } = &mut node.nic;
         crate::runtime::NodeSplit {
@@ -154,6 +161,7 @@ impl World {
                 hpu_mems,
                 scratch,
                 stats,
+                recovery,
                 mem: &mut node.mem,
                 gantt,
                 yield_on_dma: config.hpu.yield_on_dma,
@@ -185,6 +193,8 @@ impl World {
                     q.post_now(Ev::Triggered(n, Box::new(a)));
                 }
             }
+            Ev::RecoveryTimer(n, peer, pt) => self.on_recovery_timer(q, now, n, peer, pt),
+            Ev::DrainCheck(n, pt) => self.on_drain_check(q, now, n, pt),
         }
     }
 
@@ -253,6 +263,29 @@ pub struct NodeStats {
     /// Completion handlers that found no free HPU context and were forced
     /// onto core 0 (context exhaustion at message-teardown time).
     pub forced_completion_admissions: u64,
+    /// `PtDisabled` NACKs sent (as flow-control target).
+    pub nacks_sent: u64,
+    /// `PtDisabled` NACKs received (as initiator).
+    pub recovery_nacks: u64,
+    /// Backoff rounds entered by the recovery state machine.
+    pub recovery_backoffs: u64,
+    /// Probes retransmitted after backoff.
+    pub recovery_probes: u64,
+    /// Messages retransmitted (probes + replays).
+    pub recovery_retransmits: u64,
+    /// New sends held in order while their (peer, PT) pair recovered.
+    pub recovery_held: u64,
+    /// Queued messages dropped after `max_probes` consecutive probe
+    /// failures (delivery failure: the target never re-enabled).
+    pub recovery_abandoned: u64,
+    /// Portal table entries automatically re-enabled after draining.
+    pub pt_reenables: u64,
+    /// Aggregate time (ns) PTs spent disabled before automatic re-enable.
+    pub pt_disabled_ns: f64,
+    /// Messages NACKed at least once that were eventually delivered.
+    pub recovered_messages: u64,
+    /// Aggregate first-NACK → delivery latency (ns) of recovered messages.
+    pub recovery_latency_ns: f64,
 }
 
 /// Simulation output summary.
@@ -378,6 +411,17 @@ impl SimBuilder {
                 ),
                 handler_errors: node.nic.stats.handler_errors,
                 forced_completion_admissions: node.nic.stats.forced_completion_admissions,
+                nacks_sent: node.nic.stats.nacks_sent,
+                recovery_nacks: node.nic.stats.recovery_nacks,
+                recovery_backoffs: node.nic.stats.recovery_backoffs,
+                recovery_probes: node.nic.stats.recovery_probes,
+                recovery_retransmits: node.nic.stats.recovery_retransmits,
+                recovery_held: node.nic.stats.recovery_held,
+                recovery_abandoned: node.nic.stats.recovery_abandoned,
+                pt_reenables: node.nic.stats.pt_reenables,
+                pt_disabled_ns: node.nic.stats.pt_disabled_ns,
+                recovered_messages: node.nic.recovery.recovered_messages(),
+                recovery_latency_ns: node.nic.recovery.recovery_latency_ns(),
             })
             .collect();
         let report = Report {

@@ -4,7 +4,7 @@ use spin_core::config::NicKind;
 use spin_experiments::*;
 fn main() {
     let opts = Opts::from_args();
-    let tables = vec![
+    let mut tables = vec![
         fig3::pingpong_table(NicKind::Integrated, opts.quick),
         fig3::pingpong_table(NicKind::Discrete, opts.quick),
         fig3::accumulate_table(opts.quick),
@@ -19,5 +19,6 @@ fn main() {
         ablation::hpu_count_table(opts.quick),
         ablation::handler_cost_table(opts.quick),
     ];
+    tables.extend(saturation::saturation_tables(opts.quick));
     emit(opts, &tables);
 }

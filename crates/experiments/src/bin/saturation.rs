@@ -1,0 +1,7 @@
+//! Closed-loop saturation figure: offered load vs goodput and
+//! flow-control recovery latency (RDMA vs sPIN, both NIC kinds).
+use spin_experiments::{emit, saturation, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &saturation::saturation_tables(opts.quick));
+}

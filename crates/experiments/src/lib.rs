@@ -15,6 +15,7 @@
 //! | [`table5`]  | Table 5c application speedups |
 //! | [`spc`]     | §5.3 SPC trace replay |
 //! | [`ablation`]| HPU count / yield-on-DMA / handler-cost ablations |
+//! | [`saturation`] | closed-loop overload: goodput + recovery latency (beyond the paper) |
 
 use spin_sim::stats::Table;
 
@@ -24,11 +25,12 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig5b;
 pub mod fig7;
+pub mod saturation;
 pub mod spc;
 pub mod table5;
 
 /// Common experiment options parsed from argv.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Opts {
     /// Shrink sweeps for fast smoke runs.
     pub quick: bool,
@@ -37,21 +39,39 @@ pub struct Opts {
 }
 
 impl Opts {
-    /// Parse from `std::env::args`.
+    /// Parse from `std::env::args`. Exits 0 on `--help`; exits non-zero on
+    /// an unknown argument so sweep scripts fail loudly instead of running
+    /// the wrong configuration.
     pub fn from_args() -> Self {
+        const USAGE: &str = "options: --quick (small sweeps)  --json (machine-readable)";
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(Some(o)) => o,
+            Ok(None) => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(bad) => {
+                eprintln!("error: unknown argument {bad:?}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse an argument list without touching the process: `Ok(None)`
+    /// means `--help` was requested, `Err` carries the first unknown
+    /// argument.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Option<Self>, String> {
         let mut o = Opts::default();
-        for a in std::env::args().skip(1) {
+        for a in args {
             match a.as_str() {
                 "--quick" => o.quick = true,
                 "--json" => o.json = true,
-                "--help" | "-h" => {
-                    eprintln!("options: --quick (small sweeps)  --json (machine-readable)");
-                    std::process::exit(0);
-                }
-                other => eprintln!("ignoring unknown argument {other:?}"),
+                "--help" | "-h" => return Ok(None),
+                _ => return Err(a),
             }
         }
-        o
+        Ok(Some(o))
     }
 }
 
@@ -80,5 +100,20 @@ mod tests {
     fn sweeps() {
         assert_eq!(pow2_sweep(2, 5, false), vec![4, 8, 16, 32]);
         assert_eq!(pow2_sweep(2, 6, true), vec![4, 16, 64]);
+    }
+
+    #[test]
+    fn opts_parse_accepts_known_and_rejects_unknown() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = Opts::parse(args(&["--quick", "--json"])).unwrap().unwrap();
+        assert!(o.quick && o.json);
+        let o = Opts::parse(args(&[])).unwrap().unwrap();
+        assert!(!o.quick && !o.json);
+        assert_eq!(Opts::parse(args(&["--help"])), Ok(None));
+        assert_eq!(Opts::parse(args(&["--quik"])), Err("--quik".to_string()));
+        assert_eq!(
+            Opts::parse(args(&["--json", "extra"])),
+            Err("extra".to_string())
+        );
     }
 }

@@ -1,0 +1,145 @@
+//! Closed-loop saturation experiment: offered load vs. goodput and
+//! flow-control recovery latency, RDMA vs. sPIN on both NIC kinds.
+//!
+//! This is the first figure this reproduction produces beyond the paper's
+//! own set: with the Portals recovery handshake modelled (NACK → backoff →
+//! probe → in-order replay → drain-and-re-enable), overload experiments
+//! run closed-loop instead of dead-ending at the first `PtDisabled`.
+//! Sweeping the per-sender injection interval yields, per transport and
+//! NIC kind:
+//!
+//! * **goodput** — delivered Gbit/s at the receiver (all messages complete,
+//!   so past saturation this pins at the service capacity instead of
+//!   collapsing);
+//! * **recovery latency** — mean time a flow-controlled portal table entry
+//!   stays disabled per episode: NIC-local (drain HPU contexts) for sPIN,
+//!   host-bound (drain the event backlog, repost, `PtlPTEnable`) for RDMA.
+
+use rayon::prelude::*;
+use spin_apps::saturate::{self, SaturateMode, SaturateParams};
+use spin_core::config::{MachineConfig, NicKind};
+use spin_sim::stats::Table;
+use spin_sim::time::Time;
+
+fn params(interval: Time, quick: bool) -> SaturateParams {
+    SaturateParams {
+        senders: 3,
+        messages: if quick { 8 } else { 16 },
+        bytes: 8192,
+        interval,
+        service: Time::from_us(2),
+    }
+}
+
+/// Per-sender injection intervals swept, widest (under capacity) first.
+fn intervals(quick: bool) -> Vec<Time> {
+    let us = if quick {
+        vec![16.0, 4.0, 1.0]
+    } else {
+        vec![16.0, 8.0, 4.0, 2.0, 1.0, 0.5]
+    };
+    us.into_iter()
+        .map(|u| Time::from_ns_f64(u * 1000.0))
+        .collect()
+}
+
+/// One sweep for one NIC kind: per offered-load point, the outcome of
+/// each transport (each simulation runs once; both tables derive from it).
+fn sweep(nic: NicKind, quick: bool) -> Vec<(f64, Vec<(String, saturate::SaturateOutcome)>)> {
+    intervals(quick)
+        .par_iter()
+        .map(|&interval| {
+            let p = params(interval, quick);
+            let ys: Vec<(String, saturate::SaturateOutcome)> = SaturateMode::ALL
+                .iter()
+                .map(|&mode| {
+                    let o =
+                        saturate::run_outcome(MachineConfig::paper(nic).with_recovery(), mode, p);
+                    assert_eq!(
+                        o.completed, o.sent,
+                        "{mode:?}/{nic:?} lost messages under recovery"
+                    );
+                    (mode.label().to_string(), o)
+                })
+                .collect();
+            (p.offered_gbps(), ys)
+        })
+        .collect()
+}
+
+fn tables_from_sweep(
+    nic: NicKind,
+    rows: &[(f64, Vec<(String, saturate::SaturateOutcome)>)],
+) -> (Table, Table) {
+    let mut goodput = Table::new(
+        &format!("saturation-goodput-{}", nic.label()),
+        "offered (Gbit/s)",
+        "goodput (Gbit/s)",
+    );
+    let mut recovery = Table::new(
+        &format!("saturation-recovery-{}", nic.label()),
+        "offered (Gbit/s)",
+        "recovery latency (us)",
+    );
+    for (x, ys) in rows {
+        goodput.push(
+            *x,
+            ys.iter()
+                .map(|(s, o)| (s.clone(), o.goodput_gbps))
+                .collect(),
+        );
+        // Mean per-episode recovery latency: how long the PT stayed
+        // disabled. Points that never tripped flow control report 0.
+        recovery.push(
+            *x,
+            ys.iter().map(|(s, o)| (s.clone(), o.disabled_us)).collect(),
+        );
+    }
+    (goodput, recovery)
+}
+
+/// All four saturation tables (goodput + recovery latency × NIC kind),
+/// running each simulation point exactly once.
+pub fn saturation_tables(quick: bool) -> Vec<Table> {
+    let (g_int, r_int) = tables_from_sweep(NicKind::Integrated, &sweep(NicKind::Integrated, quick));
+    let (g_dis, r_dis) = tables_from_sweep(NicKind::Discrete, &sweep(NicKind::Discrete, quick));
+    vec![g_int, g_dis, r_int, r_dis]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_saturates_and_spin_recovers_faster_on_integrated() {
+        // One sweep feeds both tables (running it twice would double the
+        // simulation cost for no coverage).
+        let (goodput, recovery) =
+            tables_from_sweep(NicKind::Integrated, &sweep(NicKind::Integrated, true));
+        // Under light load goodput tracks the offered load; past
+        // saturation it stays within a band of the service capacity
+        // (~32 Gbit/s at 2 us per 8 KiB message) instead of dropping
+        // toward zero the way the open-loop (no-recovery) run does.
+        let first = goodput.rows.first().unwrap();
+        let last = goodput.rows.last().unwrap();
+        assert!(first.x < last.x, "rows sweep offered load upward");
+        for series in ["RDMA", "sPIN"] {
+            let light = goodput.get(first.x, series).unwrap();
+            let heavy = goodput.get(last.x, series).unwrap();
+            assert!(light > 0.0 && heavy > 0.0, "{series} delivered nothing");
+            assert!(
+                heavy > 15.0,
+                "{series} goodput collapsed under overload: {heavy}"
+            );
+        }
+        // At the heaviest offered load both transports trip flow control;
+        // sPIN's NIC-local drain re-opens the PT measurably faster than
+        // RDMA's host-driven drain + PtlPTEnable.
+        let x = recovery.rows.last().unwrap().x;
+        let spin = recovery.get(x, "sPIN").unwrap();
+        let rdma = recovery.get(x, "RDMA").unwrap();
+        assert!(spin > 0.0, "sPIN never recovered at {x} Gbit/s");
+        assert!(rdma > 0.0, "RDMA never recovered at {x} Gbit/s");
+        assert!(spin < rdma, "spin={spin}us rdma={rdma}us");
+    }
+}

@@ -8,7 +8,7 @@
 //! `emit` path.
 
 use spin_core::config::NicKind;
-use spin_experiments::{ablation, fig3, fig4, fig5, fig5b, fig7, spc, table5};
+use spin_experiments::{ablation, fig3, fig4, fig5, fig5b, fig7, saturation, spc, table5};
 use spin_sim::stats::Table;
 use std::process::Command;
 
@@ -84,6 +84,13 @@ fn ablation_tables_quick() {
     assert_nontrivial(&ablation::handler_cost_table(true));
 }
 
+#[test]
+fn saturation_tables_quick() {
+    for t in saturation::saturation_tables(true) {
+        assert_nontrivial(&t);
+    }
+}
+
 // ------------------------------------------------------- binary execution
 
 /// Run one compiled experiment binary with `--quick` and sanity-check its
@@ -128,6 +135,42 @@ binary_smoke! {
     bin_table5_apps => "CARGO_BIN_EXE_table5_apps",
     bin_table_spc => "CARGO_BIN_EXE_table_spc",
     bin_ablation_hpus => "CARGO_BIN_EXE_ablation_hpus",
+    bin_saturation => "CARGO_BIN_EXE_saturation",
+}
+
+#[test]
+fn bin_saturation_json() {
+    let text = run_binary(env!("CARGO_BIN_EXE_saturation"), &["--json"]);
+    let trimmed = text.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "not a JSON array:\n{}",
+        trimmed.chars().take(200).collect::<String>()
+    );
+    for table in [
+        "saturation-goodput-int",
+        "saturation-goodput-dis",
+        "saturation-recovery-int",
+        "saturation-recovery-dis",
+    ] {
+        assert!(trimmed.contains(table), "missing {table} in JSON output");
+    }
+}
+
+#[test]
+fn unknown_argument_exits_nonzero() {
+    // `Opts::from_args` must fail loudly on typos instead of silently
+    // running the wrong configuration.
+    let out = Command::new(env!("CARGO_BIN_EXE_saturation"))
+        .arg("--quikc")
+        .output()
+        .expect("spawn saturation");
+    assert!(!out.status.success(), "typo'd argument was accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--quikc"),
+        "stderr names the bad arg: {stderr}"
+    );
 }
 
 #[test]

@@ -77,6 +77,13 @@ impl<T> Cam<T> {
         self.channels.remove(&msg_id)
     }
 
+    /// Iterate over the installed channels (order unspecified) — the
+    /// receiver-side drain check scans these for channels still assembling
+    /// on a flow-controlled portal table entry.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.channels.values()
+    }
+
     /// Channels currently installed.
     pub fn len(&self) -> usize {
         self.channels.len()

@@ -136,6 +136,19 @@ impl HpuPool {
         best
     }
 
+    /// Whether any core has a free execution context at `now`, without
+    /// admitting anything: the receiver-side drain check uses this to
+    /// decide when a flow-controlled portal table entry may be re-enabled.
+    /// Prunes completed executions (deterministic, time-driven).
+    pub fn has_free_context(&mut self, now: Time) -> bool {
+        for core in &mut self.outstanding {
+            core.retain(|&end| end > now);
+        }
+        self.outstanding
+            .iter()
+            .any(|c| c.len() < self.config.contexts_per_hpu)
+    }
+
     /// Reserve core `core` for a handler arriving at `now` that occupies the
     /// core for `occupancy` and completes (including any non-occupying DMA
     /// waits) at start + `duration`. Returns the slot actually granted.

@@ -33,6 +33,10 @@ pub enum EventKind {
     PtDisabled,
     /// A sPIN handler raised an error (FAIL/SEGV, Appendix B.3–B.5).
     HandlerError,
+    /// The recovery machinery gave up on a message after exhausting its
+    /// probe budget (the target never re-enabled) — the Portals
+    /// `PTL_NI_UNDELIVERABLE` failure surfaced to the initiator.
+    Undeliverable,
 }
 
 /// A full event (`ptl_event_t` subset carrying what the experiments need).

@@ -35,4 +35,4 @@ pub use me::{
     simple_me, HandlerRef, ListKind, MatchEntry, MatchList, MatchOutcome, MeHandle, MeOptions,
 };
 pub use ni::{HeaderDisposition, NiLimits, PortalTableEntry, PortalsNi, PtIndex};
-pub use types::{AckReq, MatchBits, OpKind, Packet, ProcessId, PtlHeader, UserHeader};
+pub use types::{AckReq, MatchBits, OpKind, Packet, ProcessId, PtlAckType, PtlHeader, UserHeader};

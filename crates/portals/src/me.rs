@@ -167,6 +167,18 @@ impl MatchList {
         self.priority.len() + self.overflow.len()
     }
 
+    /// Whether any entry carries sPIN handlers — i.e. the portal table
+    /// entry is NIC-managed: the NIC can recover it from flow control
+    /// locally (drain HPU contexts, re-enable), whereas a plain Portals
+    /// entry is ULP-managed and only `PtlPTEnable` from the host may
+    /// re-open it (§3.2).
+    pub fn has_handler_entry(&self) -> bool {
+        self.priority
+            .iter()
+            .chain(self.overflow.iter())
+            .any(|e| e.handlers.is_some())
+    }
+
     /// Whether both lists are empty.
     pub fn is_empty(&self) -> bool {
         self.priority.is_empty() && self.overflow.is_empty()

@@ -183,6 +183,13 @@ impl PortalsNi {
         self.pts[pt as usize].match_list.len()
     }
 
+    /// Whether the entry is NIC-managed (some ME carries sPIN handlers):
+    /// only such entries may be re-enabled by the NIC's drain-and-re-enable
+    /// policy; plain Portals entries wait for the host's `PtlPTEnable`.
+    pub fn pt_spin_managed(&self, pt: PtIndex) -> bool {
+        self.pts[pt as usize].match_list.has_handler_entry()
+    }
+
     /// Present a message header to a portal-table entry.
     ///
     /// On a miss the entry is disabled (flow control) and a `PtDisabled`

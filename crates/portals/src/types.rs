@@ -54,6 +54,21 @@ pub enum AckReq {
     CtAck,
 }
 
+/// Transport-level disposition carried by an `OpKind::Ack` packet
+/// (`ptl_ni_fail_t` condensed to what the recovery handshake needs): a
+/// positive ack confirms the target consumed the message; a `PtDisabled`
+/// NACK tells the initiator the message bounced off a flow-controlled
+/// portal table entry (§3.2) and must be queued for retransmission once
+/// the target drains and re-enables the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PtlAckType {
+    /// The message was delivered and consumed.
+    #[default]
+    Ok,
+    /// The message was dropped: the target PT is disabled (flow control).
+    PtDisabled,
+}
+
 /// A user-defined header carried in the first bytes of the payload
 /// (`ptl_user_header_t`). sPIN header handlers parse this; it is declared
 /// statically in the paper so hardware can pre-parse it — here it is a
@@ -145,6 +160,9 @@ pub struct PtlHeader {
     pub pt_index: u32,
     /// Acknowledgement requested by the initiator.
     pub ack_req: AckReq,
+    /// For `OpKind::Ack` packets: the transport-level disposition (positive
+    /// ack vs `PtDisabled` NACK). Always `Ok` on non-ack messages.
+    pub ack_type: PtlAckType,
 }
 
 impl PtlHeader {
@@ -166,6 +184,7 @@ impl PtlHeader {
             user_hdr: UserHeader::empty(),
             pt_index: 0,
             ack_req: AckReq::None,
+            ack_type: PtlAckType::Ok,
         }
     }
 }
@@ -187,6 +206,13 @@ pub struct Packet {
     pub total: u32,
     /// Byte offset of this packet's payload within the message payload.
     pub offset: usize,
+    /// Retransmission attempt of the message this packet belongs to
+    /// (0 = first transmission). A channel installed by attempt `k`'s
+    /// header ignores straggler packets of earlier attempts — without
+    /// this, the tail of a flow-control-bounced large message still in
+    /// flight when the retransmit lands would be absorbed into the new
+    /// channel's assembly.
+    pub attempt: u32,
     /// Payload carried by this packet.
     pub payload: Bytes,
     /// Header — shared by all packets of the message; follow-on packets in
@@ -237,6 +263,7 @@ mod tests {
             index: 0,
             total: 2,
             offset: 0,
+            attempt: 0,
             payload: Bytes::from(vec![0u8; 4096]),
             header: Arc::clone(&h),
         };

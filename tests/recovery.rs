@@ -1,0 +1,130 @@
+//! Flow-control recovery subsystem: whole-system invariants under
+//! randomized overload, complementing the unit tests of every state
+//! machine transition in `spin-core/src/recovery.rs`.
+//!
+//! The contract (§3.2 recovery handshake): with recovery enabled, a
+//! saturation run delivers **every** message **exactly once**, **in
+//! order** per (sender, PT) pair — regardless of how the offered load,
+//! message size, and fan-in conspire to trip flow control.
+
+use proptest::prelude::*;
+use spin_apps::saturate::{self, SaturateMode, SaturateParams};
+use spin_core::config::{MachineConfig, NicKind};
+use spin_sim::time::Time;
+
+#[test]
+fn recovery_unblocks_a_stalled_saturation_run() {
+    // The acceptance scenario: an overload that previously stalled at the
+    // first PtDisabled (losing messages) completes everything with the
+    // subsystem enabled, and the transitions are observable in the report.
+    let p = SaturateParams {
+        senders: 3,
+        messages: 8,
+        bytes: 8192,
+        interval: Time::from_us(1),
+        service: Time::from_us(2),
+    };
+    for mode in SaturateMode::ALL {
+        let open = saturate::run_outcome(MachineConfig::integrated(), mode, p);
+        assert!(open.flow_events > 0, "{mode:?}: overload never tripped");
+        assert!(
+            open.completed < open.sent,
+            "{mode:?}: baseline did not stall"
+        );
+        let closed = saturate::run_outcome(MachineConfig::integrated().with_recovery(), mode, p);
+        assert_eq!(closed.completed, closed.sent, "{mode:?}: lost messages");
+        assert_eq!(closed.duplicates, 0, "{mode:?}: duplicated messages");
+        assert!(closed.in_order, "{mode:?}: reordered messages");
+        assert!(closed.nacks > 0 && closed.retransmits > 0 && closed.reenables > 0);
+    }
+}
+
+#[test]
+fn recovery_counters_flow_into_the_report() {
+    let p = SaturateParams {
+        senders: 3,
+        messages: 8,
+        bytes: 8192,
+        interval: Time::from_us(1),
+        service: Time::from_us(2),
+    };
+    let out = saturate::run(
+        MachineConfig::integrated().with_recovery(),
+        SaturateMode::Spin,
+        p,
+    );
+    let recv = &out.report.node_stats[0];
+    assert!(recv.nacks_sent > 0, "receiver NACKed");
+    assert!(recv.pt_reenables > 0, "receiver re-enabled");
+    assert!(recv.pt_disabled_ns > 0.0, "disabled time accounted");
+    let senders = &out.report.node_stats[1..];
+    assert!(senders.iter().any(|s| s.recovery_nacks > 0));
+    assert!(senders.iter().any(|s| s.recovery_backoffs > 0));
+    assert!(senders.iter().any(|s| s.recovery_probes > 0));
+    assert!(senders.iter().any(|s| s.recovery_retransmits > 0));
+    assert!(senders.iter().any(|s| s.recovered_messages > 0));
+}
+
+#[test]
+fn recovery_transitions_reach_the_gantt() {
+    let p = SaturateParams {
+        senders: 3,
+        messages: 6,
+        bytes: 8192,
+        interval: Time::from_us(1),
+        service: Time::from_us(2),
+    };
+    let mut config = MachineConfig::integrated().with_recovery();
+    config.record_gantt = true;
+    let out = saturate::run(config, SaturateMode::Spin, p);
+    let g = &out.world.gantt;
+    assert!(
+        !g.spans(0, "PT").is_empty(),
+        "receiver disabled episodes recorded on the PT lane"
+    );
+    assert!(
+        (1..4).any(|r| g
+            .spans(r, "RECOV")
+            .iter()
+            .any(|s| s.label.contains("backoff"))),
+        "sender backoff windows recorded on the RECOV lane"
+    );
+    assert!(
+        (1..4).any(|r| g
+            .spans(r, "RECOV")
+            .iter()
+            .any(|s| s.label.contains("probe"))),
+        "sender probes recorded on the RECOV lane"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// No loss, no duplication, in-order per pair — under randomized
+    /// overload shapes, both transports, both NIC kinds.
+    #[test]
+    fn no_message_lost_duplicated_or_reordered_under_overload(
+        senders in 2u32..5,
+        messages in 3u32..9,
+        interval_ns in 500u64..4000,
+        size_idx in 0usize..4,
+        spin in any::<bool>(),
+        discrete in any::<bool>(),
+    ) {
+        const SIZES: [usize; 4] = [512, 4096, 8192, 12000];
+        let p = SaturateParams {
+            senders,
+            messages,
+            bytes: SIZES[size_idx],
+            interval: Time::from_ps(interval_ns * 1000),
+            service: Time::from_us(2),
+        };
+        let nic = if discrete { NicKind::Discrete } else { NicKind::Integrated };
+        let mode = if spin { SaturateMode::Spin } else { SaturateMode::Rdma };
+        let o = saturate::run_outcome(MachineConfig::paper(nic).with_recovery(), mode, p);
+        prop_assert_eq!(o.completed, o.sent, "lost: {:?}", o);
+        prop_assert_eq!(o.duplicates, 0, "duplicated: {:?}", o);
+        prop_assert!(o.in_order, "reordered: {:?}", o);
+    }
+}
