@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use spin_net::params::NetParams;
 use spin_net::transfer::Network;
-use spin_sim::engine::Engine;
+use spin_sim::engine::{Engine, QueueBackend};
 use spin_sim::resource::{IntervalResource, SerialResource};
 use spin_sim::time::Time;
 use std::hint::black_box;
@@ -38,6 +38,25 @@ fn event_queue_throughput(c: &mut Criterion) {
             black_box(engine.executed())
         })
     });
+    // Queue-depth sweep, calendar vs reference heap: steady-state churn at
+    // a held depth. Small depths guard the "no slower when shallow"
+    // acceptance bound; deep ones show the O(1)-vs-O(log n) gap the
+    // saturation/fat-tree workloads hit. `BENCH_eventqueue.json` records
+    // the paired A/B from the same `queue_churn` body.
+    for depth in [100usize, 10_000, 100_000] {
+        // Scale churn with depth (as eventqueue_baseline does) so the
+        // held-depth steady state dominates the preload/drain ramps.
+        let churn_ops = 4 * depth + 10_000;
+        for (bname, backend) in [
+            ("calendar", QueueBackend::Calendar),
+            ("heap", QueueBackend::Heap),
+        ] {
+            g.throughput(Throughput::Elements(churn_ops as u64));
+            g.bench_function(&format!("churn_{bname}_d{depth}"), |b| {
+                b.iter(|| black_box(spin_bench::queue_churn(backend, depth, churn_ops)))
+            });
+        }
+    }
     g.finish();
 }
 

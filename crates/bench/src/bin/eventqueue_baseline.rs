@@ -1,0 +1,269 @@
+//! Event-queue A/B baseline emitter: measures the calendar-queue backend
+//! against the reference `BinaryHeap` backend and emits the
+//! `BENCH_eventqueue.json` document.
+//!
+//! ```text
+//! eventqueue_baseline [--json] [--out PATH] [--rounds N] [--quick]
+//! ```
+//!
+//! Methodology (PR 2's interleaved pairing, in-process): both backends are
+//! compiled into this one binary — the heap stayed available as the
+//! reference implementation — so instead of rebuilding an old tree in a
+//! worktree, each round times heap and calendar back to back per workload
+//! and the reported cell is the median across rounds. Interleaving cancels
+//! the clock drift a single-vCPU machine shows across standalone runs.
+//!
+//! Two workload families:
+//! * `churn_d{N}` — synthetic steady-state pop/post churn at a held queue
+//!   depth `N` (the queue-depth sweep; deep depths are where incast /
+//!   saturation / fat-tree scenarios live);
+//! * `e2e_*` — whole simulations flipped via `SPIN_EVENT_QUEUE`, showing
+//!   the end-to-end effect at the modest depths the pingpong/bcast
+//!   scenarios reach.
+
+use spin_bench::queue_churn;
+use spin_sim::engine::QueueBackend;
+use std::time::Instant;
+
+/// One A/B cell: a named closure measured under both backends.
+struct Workload {
+    name: String,
+    /// Runs one iteration under the given backend, returning a checksum.
+    runner: Box<dyn Fn(QueueBackend) -> u64>,
+}
+
+/// Several whole simulations per sample so the cell is dominated by
+/// simulator work, not timer granularity.
+const E2E_REPS: u64 = 8;
+
+fn e2e_pingpong(backend: QueueBackend) -> u64 {
+    with_env_backend(backend, || {
+        (0..E2E_REPS)
+            .map(|_| {
+                spin_apps::pingpong::run_full(
+                    spin_core::config::MachineConfig::paper(spin_core::config::NicKind::Integrated),
+                    spin_apps::pingpong::PingPongMode::SpinStream,
+                    64 * 1024,
+                    4,
+                )
+                .report
+                .events_executed
+            })
+            .sum()
+    })
+}
+
+fn e2e_bcast(backend: QueueBackend) -> u64 {
+    with_env_backend(backend, || {
+        (0..E2E_REPS)
+            .map(|_| {
+                spin_apps::bcast::run_full(
+                    spin_core::config::MachineConfig::paper(spin_core::config::NicKind::Discrete),
+                    spin_apps::bcast::BcastMode::Spin,
+                    8 * 1024,
+                    8,
+                )
+                .report
+                .events_executed
+            })
+            .sum()
+    })
+}
+
+/// Whole simulations construct their engine internally, so the backend is
+/// selected the same way a user would: through `SPIN_EVENT_QUEUE`.
+fn with_env_backend(backend: QueueBackend, f: impl FnOnce() -> u64) -> u64 {
+    let value = match backend {
+        QueueBackend::Heap => "heap",
+        QueueBackend::Calendar => "calendar",
+    };
+    std::env::set_var("SPIN_EVENT_QUEUE", value);
+    let out = f();
+    std::env::remove_var("SPIN_EVENT_QUEUE");
+    out
+}
+
+struct Cell {
+    name: String,
+    heap_median_ns: u64,
+    calendar_median_ns: u64,
+    check: u64,
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut rounds: u32 = 10;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).expect("--out needs a path").clone());
+            }
+            "--rounds" => {
+                i += 1;
+                rounds = args.get(i).expect("--rounds needs N").parse().expect("N");
+                assert!(rounds > 0, "--rounds must be at least 1");
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if quick {
+        rounds = rounds.min(3);
+    }
+
+    let depths: &[usize] = if quick {
+        &[100, 10_000, 100_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000, 400_000]
+    };
+    // Churn long enough that steady-state pop/post cost dominates the
+    // preload/drain ramps at every depth.
+    let churn_ops = move |d: usize| {
+        if quick {
+            4 * d + 10_000
+        } else {
+            6 * d + 50_000
+        }
+    };
+
+    // End-to-end cells first: the deep churn cells leave the allocator and
+    // caches in a state that would otherwise bleed into the ~100 µs
+    // whole-simulation samples measured right after them.
+    let mut workloads: Vec<Workload> = vec![
+        Workload {
+            name: format!("e2e_pingpong_spin_stream_64k_x{E2E_REPS}"),
+            runner: Box::new(e2e_pingpong),
+        },
+        Workload {
+            name: format!("e2e_fig5_bcast_spin_quick_x{E2E_REPS}"),
+            runner: Box::new(e2e_bcast),
+        },
+    ];
+    workloads.extend(depths.iter().map(|&d| Workload {
+        name: format!("churn_d{d}"),
+        runner: Box::new(move |b| queue_churn(b, d, churn_ops(d))),
+    }));
+
+    // Per workload: warm both backends, then `rounds` interleaved pairs.
+    // The A/B pairing is within a pair (heap and calendar back to back,
+    // alternating which goes first per round), so both backends see the
+    // same ambient allocator/cache state; running a workload's rounds
+    // consecutively keeps the deep-churn cells from bleeding into the
+    // small whole-simulation cells.
+    let cells: Vec<Cell> = workloads
+        .iter()
+        .map(|w| {
+            let heap_check = std::hint::black_box((w.runner)(QueueBackend::Heap));
+            let cal_check = std::hint::black_box((w.runner)(QueueBackend::Calendar));
+            assert_eq!(
+                heap_check, cal_check,
+                "{}: backends disagreed on the checksum",
+                w.name
+            );
+            let mut heap_samples = Vec::new();
+            let mut cal_samples = Vec::new();
+            let mut check = 0;
+            for round in 0..rounds {
+                let time_one = |backend| {
+                    let t0 = Instant::now();
+                    let c = std::hint::black_box((w.runner)(backend));
+                    (t0.elapsed().as_nanos() as u64, c)
+                };
+                let ((heap_ns, c_heap), (cal_ns, c_cal)) = if round % 2 == 0 {
+                    let h = time_one(QueueBackend::Heap);
+                    let c = time_one(QueueBackend::Calendar);
+                    (h, c)
+                } else {
+                    let c = time_one(QueueBackend::Calendar);
+                    let h = time_one(QueueBackend::Heap);
+                    (h, c)
+                };
+                heap_samples.push(heap_ns);
+                cal_samples.push(cal_ns);
+                assert_eq!(c_heap, c_cal, "{}: checksum diverged", w.name);
+                check = c_cal;
+            }
+            Cell {
+                name: w.name.clone(),
+                heap_median_ns: median(heap_samples),
+                calendar_median_ns: median(cal_samples),
+                check,
+            }
+        })
+        .collect();
+
+    if json || out_path.is_some() {
+        let mut doc = String::from("{\n");
+        let ops_formula = if quick {
+            "4*depth+10k (quick)"
+        } else {
+            "6*depth+50k"
+        };
+        doc.push_str(&format!(
+            "  \"harness\": \"spin-bench eventqueue_baseline v1 (rounds={rounds}, churn_ops={ops_formula}, median ns/iter)\",\n"
+        ));
+        doc.push_str(
+            "  \"methodology\": \"Paired A/B on one machine, both backends in one binary (the reference BinaryHeap backend stays compiled in): per round each workload runs heap then calendar back to back, interleaved for all rounds; each cell is the median across rounds. Interleaving cancels single-vCPU clock drift, as in BENCH_hotpath.json. churn_dN holds a queue at depth N through pop-one/post-one cycles; e2e_* flips whole simulations via SPIN_EVENT_QUEUE. Reproduce with: cargo run --release -p spin-bench --bin eventqueue_baseline -- --json\",\n",
+        );
+        doc.push_str(
+            "  \"change\": \"calendar-queue event engine: ring of time buckets with per-bucket (time, seq) FIFO order, demand-grown width/ring resize, overflow heap for far-future events; BinaryHeap kept as the reference backend (SPIN_EVENT_QUEUE=heap)\",\n",
+        );
+        doc.push_str("  \"benches\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            let speedup =
+                (c.heap_median_ns as f64 - c.calendar_median_ns as f64) / c.heap_median_ns as f64;
+            doc.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"heap_median_ns\": {}, \"calendar_median_ns\": {}, \"improvement_pct\": {:.1}, \"check\": {} }}{}\n",
+                c.name,
+                c.heap_median_ns,
+                c.calendar_median_ns,
+                speedup * 100.0,
+                c.check,
+                if i + 1 == cells.len() { "" } else { "," }
+            ));
+        }
+        doc.push_str("  ],\n");
+        doc.push_str(
+            "  \"equivalence\": \"every cell's checksum (order-sensitive (time, event) dispatch digest for churn_*, events_executed for e2e_*) is asserted identical across backends on every round; tests/queue_equivalence.rs proves dispatch-order equality over adversarial interleavings and tests/determinism.rs reproduces all pinned goldens bit-for-bit on the calendar backend\"\n",
+        );
+        doc.push_str("}\n");
+        if let Some(path) = &out_path {
+            std::fs::write(path, &doc).expect("write baseline json");
+            eprintln!("wrote {path}");
+        }
+        if json {
+            print!("{doc}");
+        }
+    } else {
+        println!(
+            "{:<32} {:>14} {:>16} {:>8}",
+            "bench", "heap_ns", "calendar_ns", "gain%"
+        );
+        for c in &cells {
+            let speedup =
+                (c.heap_median_ns as f64 - c.calendar_median_ns as f64) / c.heap_median_ns as f64;
+            println!(
+                "{:<32} {:>14} {:>16} {:>7.1}%",
+                c.name,
+                c.heap_median_ns,
+                c.calendar_median_ns,
+                speedup * 100.0
+            );
+        }
+    }
+}

@@ -15,6 +15,8 @@ use spin_apps::bcast::{self, BcastMode};
 use spin_apps::pingpong::{self, PingPongMode};
 use spin_apps::raid::RaidMode;
 use spin_core::config::{MachineConfig, NicKind};
+use spin_sim::engine::{EventQueue, QueueBackend};
+use spin_sim::time::Time;
 use spin_trace::spc::{replay, synthesize, TraceFamily};
 use std::time::Instant;
 
@@ -91,6 +93,47 @@ pub fn hotpath_workloads() -> Vec<Workload> {
             runner: spc_replay_quick,
         },
     ]
+}
+
+/// Steady-state event-queue churn at a held depth: preload `depth` events,
+/// then `ops` pop-one/post-one cycles (each post lands within ~1 µs of the
+/// popped time, the simulator's typical lookahead), then drain. Shared by
+/// the criterion `event_queue` sweep and the `eventqueue_baseline` A/B
+/// emitter so both measure the exact same code. Returns an
+/// **order-sensitive** digest of the dispatch sequence (each `(time,
+/// event)` pair folded in with a rotate, so two backends that dispatched
+/// the same multiset in a different order produce different digests) —
+/// identical across backends by the equivalence proof, so the A/B doubles
+/// as a correctness check.
+pub fn queue_churn(backend: QueueBackend, depth: usize, ops: usize) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
+    let mut x = 0x243F_6A88_85A3_08D3u64 ^ (depth as u64).rotate_left(17);
+    let step = |x: &mut u64| {
+        *x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *x
+    };
+    for i in 0..depth {
+        let dt = step(&mut x) % 1_000_000;
+        q.post_at(Time::from_ps(dt), i as u64);
+    }
+    let mut acc = 0u64;
+    let fold = |acc: u64, t: Time, ev: u64| {
+        acc.rotate_left(1)
+            .wrapping_add(t.ps().rotate_left(7) ^ ev)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    };
+    for i in 0..ops {
+        let (t, ev) = q.pop_next().expect("queue held at depth");
+        acc = fold(acc, t, ev);
+        let dt = step(&mut x) % 1_000_000 + 1;
+        q.post_at(t + Time::from_ps(dt), (depth + i) as u64);
+    }
+    while let Some((t, ev)) = q.pop_next() {
+        acc = fold(acc, t, ev);
+    }
+    acc
 }
 
 /// One measured workload.

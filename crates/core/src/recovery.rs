@@ -28,7 +28,12 @@
 //! ULP ack when one was requested), so the initiator can retire in-flight
 //! state. A retransmitted `HostRegion` payload re-reads the source region
 //! at replay time (Portals MD semantics: the buffer belongs to the NIC
-//! until the ack).
+//! until the ack). Gets ride the same machinery — a bounced Get is NACKed,
+//! queued, and probed/replayed like a Put — but their delivery
+//! confirmation is the `Reply` itself: its arrival retires the in-flight
+//! entry and releases any queued replay, so the initiator-side
+//! `pending_sends` entry can no longer leak when a Get bounces off a
+//! disabled PT.
 //!
 //! Retransmission is **message-level**: a mid-message flow-control episode
 //! drops the whole message and replays it from scratch, so payload
@@ -112,7 +117,26 @@ pub enum NackStep {
     /// re-enabled). Bounds the retry loop so a dead target cannot keep the
     /// simulation alive forever; the caller surfaces the failure to the
     /// ULP (`PTL_NI_UNDELIVERABLE`).
-    Abandon(Vec<u64>),
+    Abandon(Vec<AbandonedSend>),
+}
+
+/// What the ULP needs to know about one abandoned message. Carried on
+/// [`NackStep::Abandon`] from the recovery-tracked [`OutMsg`] itself, so
+/// even a send that was *held* for the recovering pair (and therefore
+/// never reached the wire or registered a pending-send entry) still
+/// surfaces its delivery failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbandonedSend {
+    /// Message id.
+    pub msg_id: u64,
+    /// Destination the message never reached.
+    pub peer: u32,
+    /// Match bits of the request.
+    pub match_bits: u64,
+    /// Payload (or requested, for Gets) length.
+    pub length: usize,
+    /// The completion notification the initiator asked for.
+    pub notify: Notify,
 }
 
 /// Result of processing a positive transport ack.
@@ -165,7 +189,11 @@ impl RecoveryManager {
     }
 
     fn recoverable(op: OpKind) -> bool {
-        matches!(op, OpKind::Put | OpKind::Atomic(_))
+        // Gets are tracked too: a Get that bounces off a disabled PT is
+        // NACKed like a Put and retransmitted by the same probe/replay
+        // machinery; its Reply doubles as the delivery confirmation that
+        // retires the in-flight entry (no separate transport ack).
+        matches!(op, OpKind::Put | OpKind::Atomic(_) | OpKind::Get)
     }
 
     /// The recovery state of a `(peer, pt)` pair (tests/introspection).
@@ -243,11 +271,22 @@ impl RecoveryManager {
                     // The target never re-enabled within the retry budget:
                     // abandon the episode so a dead target cannot keep the
                     // simulation alive forever. The queued messages are
-                    // delivery failures the caller surfaces to the ULP.
-                    let dropped = std::mem::take(&mut p.queue);
-                    for id in &dropped {
-                        self.inflight.remove(id);
-                        self.nacked_at.remove(id);
+                    // delivery failures the caller surfaces to the ULP —
+                    // reported from the tracked `OutMsg`s, so held sends
+                    // that never transmitted are reported too.
+                    let queue = std::mem::take(&mut p.queue);
+                    let mut dropped = Vec::with_capacity(queue.len());
+                    for id in queue {
+                        if let Some(msg) = self.inflight.remove(&id) {
+                            dropped.push(AbandonedSend {
+                                msg_id: id,
+                                peer: msg.dst,
+                                match_bits: msg.match_bits,
+                                length: msg.length(),
+                                notify: msg.notify,
+                            });
+                        }
+                        self.nacked_at.remove(&id);
                     }
                     let p = self.peers.get_mut(&(peer, pt)).expect("entry exists");
                     p.state = PeerState::Idle;
@@ -418,18 +457,19 @@ impl World {
                     });
                 // Surface the delivery failure to the ULP
                 // (`PTL_NI_UNDELIVERABLE`): one event per abandoned message
-                // whose initiator asked for completion notification, and
-                // retire its pending-send entry either way.
-                for id in dropped {
-                    let Some(pending) = self.nodes[n as usize].nic.pending_sends.remove(&id) else {
-                        continue;
-                    };
-                    if pending.notify == crate::msg::Notify::Host {
+                // whose initiator asked for completion notification. The
+                // event fields come from the recovery-tracked message, so a
+                // send held for the recovering pair (never transmitted, no
+                // pending-send entry) is reported like any other; the
+                // pending-send entry, when one exists, is retired.
+                for a in dropped {
+                    self.nodes[n as usize].nic.pending_sends.remove(&a.msg_id);
+                    if a.notify == crate::msg::Notify::Host {
                         let mut ev = FullEvent::simple(
                             EventKind::Undeliverable,
-                            pending.peer,
-                            pending.match_bits,
-                            pending.length,
+                            a.peer,
+                            a.match_bits,
+                            a.length,
                         );
                         ev.ni_fail = 1;
                         self.dispatch_event(q, now, n, ev);
@@ -649,13 +689,80 @@ mod tests {
         assert_eq!(m.on_timer(2, 0), Some(1));
         assert!(matches!(m.on_nack(t, 1, 2, 0), NackStep::Backoff(_)));
         assert_eq!(m.on_timer(2, 0), Some(1));
-        assert_eq!(m.on_nack(t, 1, 2, 0), NackStep::Abandon(vec![1, 2, 3]));
+        match m.on_nack(t, 1, 2, 0) {
+            NackStep::Abandon(d) => {
+                assert_eq!(d.iter().map(|a| a.msg_id).collect::<Vec<_>>(), [1, 2, 3]);
+                assert!(d.iter().all(|a| a.peer == 2));
+            }
+            other => panic!("expected Abandon, got {other:?}"),
+        }
         assert_eq!(m.peer_state(2, 0), PeerState::Idle);
         assert_eq!(m.queued(2, 0), 0);
         // The dropped messages are fully untracked now.
         assert_eq!(m.on_ack_ok(t, 1), AckStep::Untracked);
         assert_eq!(m.on_ack_ok(t, 2), AckStep::Untracked);
         assert_eq!(m.on_ack_ok(t, 3), AckStep::Untracked);
+    }
+
+    #[test]
+    fn abandon_reports_held_never_transmitted_sends() {
+        // A send held for a recovering pair never transmits (and never
+        // registers a pending-send entry); if the episode is abandoned it
+        // must still be reported so the ULP sees `Undeliverable`.
+        let mut m = RecoveryManager::new(Some(RecoveryConfig {
+            max_probes: 1,
+            ..cfg()
+        }));
+        m.on_send(&put(1, 2, 0));
+        let t = Time::from_us(1);
+        m.on_nack(t, 1, 2, 0);
+        // Held behind the episode: a Get with host notification.
+        let held = OutMsg {
+            msg_id: 2,
+            ..OutMsg::get(0, 2, 0, 9, 0, 128, 0x100)
+        };
+        assert_eq!(m.on_send(&held), SendStep::Hold);
+        assert_eq!(m.on_timer(2, 0), Some(1));
+        match m.on_nack(t, 1, 2, 0) {
+            NackStep::Abandon(d) => {
+                assert_eq!(d.len(), 2);
+                assert_eq!(d[1].msg_id, 2);
+                assert_eq!(d[1].notify, Notify::Host);
+                assert_eq!(d[1].match_bits, 9);
+                assert_eq!(d[1].length, 128);
+            }
+            other => panic!("expected Abandon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gets_are_tracked_and_replayed_like_puts() {
+        // ROADMAP follow-on (fixed here): a Get bouncing off a disabled PT
+        // used to be invisible to the retransmit machinery, leaking its
+        // initiator-side pending-send entry. It now enters the same state
+        // machine; the Reply plays the role of the transport ack.
+        let mut m = RecoveryManager::new(Some(cfg()));
+        let get = OutMsg {
+            msg_id: 1,
+            ..OutMsg::get(0, 9, 0, 7, 0, 64, 0x100)
+        };
+        assert_eq!(m.on_send(&get), SendStep::Transmit);
+        let t = Time::from_us(5);
+        assert_eq!(
+            m.on_nack(t, 1, 9, 0),
+            NackStep::Backoff(t + Time::from_us(1))
+        );
+        // New traffic to the recovering pair queues behind the Get.
+        assert_eq!(m.on_send(&put(2, 9, 0)), SendStep::Hold);
+        assert_eq!(m.on_timer(9, 0), Some(1));
+        assert_eq!(m.replay_msg(1).unwrap().attempt, 1);
+        // The Reply arriving confirms the probe: queue replays, pair idles.
+        assert_eq!(
+            m.on_ack_ok(t + Time::from_us(2), 1),
+            AckStep::Replay(vec![2])
+        );
+        assert_eq!(m.peer_state(9, 0), PeerState::Idle);
+        assert_eq!(m.recovered_messages(), 1);
     }
 
     #[test]

@@ -126,10 +126,24 @@ impl World {
                 q.post_at(t.complete, Ev::NicInject(n, Box::new(reply)));
             }
             HeaderDisposition::FlowControl => {
+                let recovery_on = self.config.recovery.is_some();
                 let nic = &mut self.nodes[n as usize].nic;
                 nic.stats.flow_control_events += 1;
-                // Gets are not retransmitted by the recovery subsystem, but
-                // the drain-and-re-enable policy still applies to the PT.
+                // A bounced Get is NACKed exactly like a bounced Put, so
+                // the initiator queues it for retransmission instead of
+                // leaking its pending-send entry; the drain-and-re-enable
+                // policy applies to the PT either way.
+                if recovery_on {
+                    nic.stats.nacks_sent += 1;
+                    crate::recovery::post_nack(
+                        q,
+                        match_done,
+                        n,
+                        hdr.source_id,
+                        hdr.pt_index,
+                        pkt.msg_id,
+                    );
+                }
                 if let Some(at) = nic.recovery.note_pt_disabled(match_done, hdr.pt_index) {
                     q.post_at(at, Ev::DrainCheck(n, hdr.pt_index));
                 }
@@ -137,7 +151,22 @@ impl World {
                 self.dispatch_event(q, match_done, n, ev);
             }
             HeaderDisposition::Dropped => {
-                self.nodes[n as usize].nic.stats.packets_dropped += 1;
+                let recovery_on = self.config.recovery.is_some();
+                let nic = &mut self.nodes[n as usize].nic;
+                nic.stats.packets_dropped += 1;
+                // The PT was already disabled: NACK so the initiator keeps
+                // (re)trying the Get instead of losing it.
+                if recovery_on {
+                    nic.stats.nacks_sent += 1;
+                    crate::recovery::post_nack(
+                        q,
+                        match_done,
+                        n,
+                        hdr.source_id,
+                        hdr.pt_index,
+                        pkt.msg_id,
+                    );
+                }
             }
         }
     }
@@ -145,6 +174,17 @@ impl World {
     fn on_reply_packet(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: Packet) {
         let done = now + cost::MATCH_CAM;
         if pkt.is_header() {
+            // The reply is the Get's delivery confirmation: retire its
+            // retransmit-tracking entry, and if the Get was the probe of a
+            // recovering (peer, PT) pair, release the in-order replay of
+            // the queue (mirrors the transport-ack path of `on_ack`).
+            if let crate::recovery::AckStep::Replay(ids) = self.nodes[n as usize]
+                .nic
+                .recovery
+                .on_ack_ok(now, pkt.header.hdr_data)
+            {
+                self.replay_queue(q, now, n, ids);
+            }
             let Some(pending) = self.nodes[n as usize]
                 .nic
                 .pending_sends

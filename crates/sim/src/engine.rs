@@ -9,7 +9,16 @@
 //! Dispatch happens through a closure (or the [`Dispatch`] trait) so that the
 //! crate that owns the world — `spin-core` — can match on its own event enum
 //! without this crate knowing anything about NICs or hosts.
+//!
+//! Pending events are stored behind the [`PendingQueue`] abstraction with
+//! two interchangeable backends: the default [`CalendarQueue`] (O(1)
+//! amortized post/pop, see `calendar.rs`) and the reference [`HeapQueue`]
+//! (`BinaryHeap`, O(log n)). Both yield the exact same `(time, seq)`
+//! dispatch order — `tests/queue_equivalence.rs` proves it differentially —
+//! so the choice is purely a performance knob (`SPIN_EVENT_QUEUE=heap`
+//! flips any run back to the reference backend).
 
+use crate::calendar::CalendarQueue;
 use crate::time::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -44,13 +53,147 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// The storage strategy behind an [`EventQueue`]: any structure that can
+/// hold `(time, seq, event)` triples and yield them in ascending
+/// `(time, seq)` order. The engine owns the clock, the sequence counter,
+/// and every invariant check; backends only order.
+///
+/// Two implementations exist: [`CalendarQueue`] (the default — O(1)
+/// amortized for the simulator's mostly-bounded time horizon) and
+/// [`HeapQueue`] (the original `BinaryHeap`, kept as the reference
+/// implementation that `tests/queue_equivalence.rs` differentially tests
+/// the calendar against).
+pub trait PendingQueue<E> {
+    /// Store one event. `seq` is unique and ascending across all pushes.
+    fn push(&mut self, time: Time, seq: u64, event: E);
+    /// Remove and return the earliest `(time, seq)` event.
+    fn pop(&mut self) -> Option<(Time, u64, E)>;
+    /// The earliest pending time, without removing anything.
+    fn peek_time(&self) -> Option<Time>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The reference backend: the standard-library binary heap (O(log n)
+/// push/pop), exactly as the engine used before the calendar queue landed.
+#[derive(Debug)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapQueue<E> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<E> PendingQueue<E> for HeapQueue<E> {
+    fn push(&mut self, time: Time, seq: u64, event: E) {
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    fn pop(&mut self) -> Option<(Time, u64, E)> {
+        self.heap.pop().map(|s| (s.time, s.seq, s.event))
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Which [`PendingQueue`] implementation an [`EventQueue`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Calendar queue (O(1) amortized post/pop) — the default.
+    #[default]
+    Calendar,
+    /// The reference `BinaryHeap` (O(log n)); dispatch order is proven
+    /// identical, so flipping back is purely a performance/debugging knob.
+    Heap,
+}
+
+impl QueueBackend {
+    /// The backend selected by the `SPIN_EVENT_QUEUE` environment variable
+    /// (`heap` or `calendar`, case-insensitive); the calendar queue when
+    /// unset or unrecognized. Lets whole experiment binaries be A/B'd
+    /// against the reference backend without a rebuild.
+    pub fn from_env() -> Self {
+        match std::env::var("SPIN_EVENT_QUEUE") {
+            Ok(v) if v.eq_ignore_ascii_case("heap") => QueueBackend::Heap,
+            _ => QueueBackend::Calendar,
+        }
+    }
+}
+
+/// Backend dispatch. An enum (not `dyn`) so the hot post/pop calls stay
+/// static and inlinable.
+#[derive(Debug)]
+enum Pending<E> {
+    Calendar(CalendarQueue<E>),
+    Heap(HeapQueue<E>),
+}
+
+impl<E> Pending<E> {
+    fn of(backend: QueueBackend) -> Self {
+        match backend {
+            QueueBackend::Calendar => Pending::Calendar(CalendarQueue::new()),
+            QueueBackend::Heap => Pending::Heap(HeapQueue::new()),
+        }
+    }
+
+    fn push(&mut self, time: Time, seq: u64, event: E) {
+        match self {
+            Pending::Calendar(q) => q.push(time, seq, event),
+            Pending::Heap(q) => q.push(time, seq, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Time, u64, E)> {
+        match self {
+            Pending::Calendar(q) => q.pop(),
+            Pending::Heap(q) => q.pop(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        match self {
+            Pending::Calendar(q) => q.peek_time(),
+            Pending::Heap(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Pending::Calendar(q) => PendingQueue::len(q),
+            Pending::Heap(q) => PendingQueue::len(q),
+        }
+    }
+}
+
 /// A time-ordered queue of pending events.
 ///
 /// This is the part of the engine that event handlers get mutable access to
 /// while an event is being dispatched, so handlers can post follow-up events.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    pending: Pending<E>,
     now: Time,
     seq: u64,
     executed: u64,
@@ -63,13 +206,28 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue at time zero.
+    /// An empty queue at time zero, on the backend
+    /// [`QueueBackend::from_env`] selects (the calendar queue unless
+    /// `SPIN_EVENT_QUEUE=heap`).
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::from_env())
+    }
+
+    /// An empty queue at time zero on an explicit backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            pending: Pending::of(backend),
             now: Time::ZERO,
             seq: 0,
             executed: 0,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.pending {
+            Pending::Calendar(_) => QueueBackend::Calendar,
+            Pending::Heap(_) => QueueBackend::Heap,
         }
     }
 
@@ -89,7 +247,7 @@ impl<E> EventQueue<E> {
     /// Number of events still pending.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.pending.len()
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -104,11 +262,7 @@ impl<E> EventQueue<E> {
             self.now
         );
         self.seq += 1;
-        self.heap.push(Scheduled {
-            time: at,
-            seq: self.seq,
-            event,
-        });
+        self.pending.push(at, self.seq, event);
     }
 
     /// Schedule `event` after a `delay` relative to now.
@@ -124,12 +278,24 @@ impl<E> EventQueue<E> {
         self.post_at(self.now, event);
     }
 
-    fn pop(&mut self) -> Option<(Time, E)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.time >= self.now);
-        self.now = s.time;
+    /// Remove and return the next `(time, seq)`-ordered event, advancing
+    /// the clock to its timestamp. Public so steppers and differential
+    /// harnesses can single-step a queue outside an [`Engine`] run loop.
+    pub fn pop_next(&mut self) -> Option<(Time, E)> {
+        let (time, _seq, event) = self.pending.pop()?;
+        debug_assert!(time >= self.now);
+        self.now = time;
         self.executed += 1;
-        Some((s.time, s.event))
+        Some((time, event))
+    }
+
+    /// Like [`EventQueue::pop_next`], but leaves the queue untouched (and
+    /// the clock where it is) when the earliest event is after `deadline`.
+    fn pop_next_before(&mut self, deadline: Time) -> Option<(Time, E)> {
+        match self.pending.peek_time() {
+            Some(t) if t <= deadline => self.pop_next(),
+            _ => None,
+        }
     }
 
     /// Advance the clock to `t` without dispatching (used by
@@ -159,7 +325,8 @@ pub struct Engine<E> {
 }
 
 impl<E> Engine<E> {
-    /// A fresh engine with no event limit.
+    /// A fresh engine with no event limit, on the default backend (see
+    /// [`EventQueue::new`]).
     pub fn new() -> Self {
         Engine {
             queue: EventQueue::new(),
@@ -172,6 +339,15 @@ impl<E> Engine<E> {
         Engine {
             queue: EventQueue::new(),
             max_events,
+        }
+    }
+
+    /// A fresh engine on an explicit [`QueueBackend`] (no event limit; set
+    /// [`Engine::max_events`] afterwards if one is wanted).
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        Engine {
+            queue: EventQueue::with_backend(backend),
+            max_events: 0,
         }
     }
 
@@ -198,7 +374,7 @@ impl<E> Engine<E> {
 
     /// Run until the queue is empty, dispatching through a closure.
     pub fn run_with(&mut self, mut f: impl FnMut(&mut EventQueue<E>, Time, E)) -> Time {
-        while let Some((now, ev)) = self.queue.pop() {
+        while let Some((now, ev)) = self.queue.pop_next() {
             f(&mut self.queue, now, ev);
             if self.max_events != 0 && self.queue.executed() > self.max_events {
                 panic!(
@@ -227,12 +403,7 @@ impl<E> Engine<E> {
         deadline: Time,
         mut f: impl FnMut(&mut EventQueue<E>, Time, E),
     ) -> Time {
-        loop {
-            match self.queue.heap.peek() {
-                Some(s) if s.time <= deadline => {}
-                _ => break,
-            }
-            let (now, ev) = self.queue.pop().expect("peeked");
+        while let Some((now, ev)) = self.queue.pop_next_before(deadline) {
             f(&mut self.queue, now, ev);
             if self.max_events != 0 && self.queue.executed() > self.max_events {
                 panic!(
@@ -353,6 +524,160 @@ mod tests {
         engine.run_until(Time::from_us(1000), |q, _, ev| {
             q.post_in(Time::from_ns(1), ev);
         });
+    }
+
+    // ------------------------------------------------- backend edge cases
+    //
+    // Everything above runs on the default backend; these pin the engine
+    // contract on *both* backends explicitly, at the seams where a
+    // calendar queue could plausibly diverge from the reference heap:
+    // bucket boundaries, far-future overflow, rotations under run_until,
+    // and the two engine panics.
+
+    const BOTH: [QueueBackend; 2] = [QueueBackend::Calendar, QueueBackend::Heap];
+
+    #[test]
+    fn backends_are_reported_and_default_is_calendar() {
+        assert_eq!(
+            EventQueue::<u32>::with_backend(QueueBackend::Heap).backend(),
+            QueueBackend::Heap
+        );
+        assert_eq!(
+            EventQueue::<u32>::with_backend(QueueBackend::Calendar).backend(),
+            QueueBackend::Calendar
+        );
+        // Unless SPIN_EVENT_QUEUE overrides it (not set under cargo test),
+        // the default is the calendar queue.
+        if std::env::var_os("SPIN_EVENT_QUEUE").is_none() {
+            assert_eq!(Engine::<u32>::new().queue.backend(), QueueBackend::Calendar);
+        }
+    }
+
+    #[test]
+    fn bucket_boundary_ties_dispatch_fifo_on_both_backends() {
+        // Events exactly on multiples of the calendar's initial bucket
+        // width (1024 ps), plus ±1 ps neighbours and same-time bursts:
+        // identical dispatch on both backends.
+        let runs: Vec<Vec<(u64, u32)>> = BOTH
+            .iter()
+            .map(|&b| {
+                let mut engine = Engine::with_backend(b);
+                let mut ev = 0u32;
+                for k in (0..20u64).rev() {
+                    for dt in [k * 1024, k * 1024 + 1, (k * 1024).saturating_sub(1)] {
+                        for _ in 0..3 {
+                            engine.queue_mut().post_at(Time::from_ps(dt), ev);
+                            ev += 1;
+                        }
+                    }
+                }
+                let mut seen = Vec::new();
+                engine.run_with(|_, now, e| seen.push((now.ps(), e)));
+                seen
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        let mut sorted = runs[0].clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        assert_eq!(runs[0], sorted, "time order");
+    }
+
+    #[test]
+    fn far_future_jump_preserves_clock_and_order() {
+        for b in BOTH {
+            let mut engine = Engine::with_backend(b);
+            engine.queue_mut().post_at(Time::from_ns(1), 1u32);
+            // ~1 s of simulated dead air: far beyond any calendar horizon.
+            engine.queue_mut().post_at(Time::from_us(1_000_000), 2);
+            let mut seen = Vec::new();
+            let end = engine.run_with(|q, now, ev| {
+                seen.push((now, ev));
+                if ev == 2 {
+                    // Post-jump follow-ups at the jumped-to clock still work.
+                    q.post_in(Time::from_ns(3), 3);
+                }
+            });
+            assert_eq!(
+                seen,
+                vec![
+                    (Time::from_ns(1), 1),
+                    (Time::from_us(1_000_000), 2),
+                    (Time::from_us(1_000_000) + Time::from_ns(3), 3),
+                ],
+                "{b:?}"
+            );
+            assert_eq!(end, Time::from_us(1_000_000) + Time::from_ns(3));
+        }
+    }
+
+    #[test]
+    fn run_until_across_rotations_leaves_clock_at_each_deadline() {
+        // Deadlines that land mid-window, on window boundaries, and inside
+        // long empty stretches; posting between calls must stay legal at
+        // exactly the deadline.
+        for b in BOTH {
+            let mut engine = Engine::with_backend(b);
+            for i in 0..50u64 {
+                engine
+                    .queue_mut()
+                    .post_at(Time::from_ps(i * 700 + 3), i as u32);
+            }
+            let mut seen = Vec::new();
+            for deadline_ps in [0u64, 1024, 1025, 9_000, 9_001, 100_000, 200_000] {
+                let end = engine.run_until(Time::from_ps(deadline_ps), |_, _, ev| seen.push(ev));
+                assert_eq!(end, Time::from_ps(deadline_ps), "{b:?}");
+                assert_eq!(engine.now(), Time::from_ps(deadline_ps));
+                // Scheduling exactly at the deadline is always legal.
+                engine
+                    .queue_mut()
+                    .post_at(Time::from_ps(deadline_ps), 1000 + seen.len() as u32);
+                engine.run_until(Time::from_ps(deadline_ps), |_, _, ev| seen.push(ev));
+            }
+            engine.run_with(|_, _, ev| seen.push(ev));
+            assert_eq!(seen.len(), 50 + 7, "{b:?}: every event dispatched once");
+        }
+    }
+
+    #[test]
+    fn past_scheduling_panics_on_both_backends() {
+        for b in BOTH {
+            let r = std::panic::catch_unwind(|| {
+                let mut engine = Engine::with_backend(b);
+                engine.queue_mut().post_at(Time::from_ns(10), 0u32);
+                engine.run_with(|q, _, _| q.post_at(Time::from_ns(1), 1));
+            });
+            let msg = *r.expect_err("must panic").downcast::<String>().unwrap();
+            assert!(msg.contains("scheduled in the past"), "{b:?}: {msg}");
+        }
+    }
+
+    #[test]
+    fn event_limit_panics_on_both_backends() {
+        for b in BOTH {
+            let r = std::panic::catch_unwind(|| {
+                let mut engine = Engine::with_backend(b);
+                engine.max_events = 100;
+                engine.queue_mut().post_at(Time::ZERO, 0u32);
+                engine.run_with(|q, _, ev| q.post_in(Time::from_ns(1), ev));
+            });
+            let msg = *r.expect_err("must panic").downcast::<String>().unwrap();
+            assert!(msg.contains("event limit exceeded"), "{b:?}: {msg}");
+        }
+    }
+
+    #[test]
+    fn pop_next_single_steps_the_queue() {
+        for b in BOTH {
+            let mut q = EventQueue::with_backend(b);
+            q.post_at(Time::from_ns(2), 'b');
+            q.post_at(Time::from_ns(1), 'a');
+            assert_eq!(q.pop_next(), Some((Time::from_ns(1), 'a')));
+            assert_eq!(q.now(), Time::from_ns(1));
+            assert_eq!(q.executed(), 1);
+            assert_eq!(q.pending(), 1);
+            assert_eq!(q.pop_next(), Some((Time::from_ns(2), 'b')));
+            assert_eq!(q.pop_next(), None);
+        }
     }
 
     #[test]

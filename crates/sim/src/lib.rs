@@ -14,6 +14,7 @@
 //! with a stable FIFO tie-break so simulations are bit-reproducible across
 //! runs regardless of hash-map iteration order or platform.
 
+pub mod calendar;
 pub mod engine;
 pub mod gantt;
 pub mod littles_law;
@@ -23,5 +24,6 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Engine, EventQueue};
+pub use calendar::CalendarQueue;
+pub use engine::{Engine, EventQueue, HeapQueue, PendingQueue, QueueBackend};
 pub use time::{Time, GIGA, KIB, MIB, NS, PS, US};

@@ -1,0 +1,203 @@
+//! Differential proof that the calendar-queue engine backend is
+//! observationally identical to the reference `BinaryHeap` backend.
+//!
+//! The entire determinism story of this reproduction — the four pinned
+//! golden fingerprints, the recovery proptests, same-time FIFO ordering —
+//! rests on the event queue dispatching `(time, seq)` in exactly one
+//! order. "The test suite still passes" is circumstantial evidence; this
+//! harness is the direct kind: it feeds randomized interleavings of every
+//! queue operation (`post_at` / `post_in` / `post_now` / single-step pops /
+//! `run_until`) to one engine per backend and asserts the two produce the
+//! same dispatch sequence, the same clock after every operation, and the
+//! same pending counts — including the adversarial patterns a calendar
+//! queue could plausibly get wrong:
+//!
+//! * **same-time bursts** (FIFO tie-break inside one bucket),
+//! * **bucket-boundary ties** (times on exact multiples of the initial
+//!   1024 ps width, ±1 ps),
+//! * **sparse far-future jumps** (events seconds ahead — overflow parking
+//!   and calendar jumps),
+//! * **resize-triggering storms** (hundreds of posts in one burst, then
+//!   drains — grow/shrink rebuilds mid-sequence),
+//! * **`run_until` deadlines** landing before, on, and after pending
+//!   events, with follow-up posts from inside dispatch.
+//!
+//! Case count is `PROPTEST_CASES`-controlled (CI bumps it well above the
+//! local default).
+
+use proptest::collection;
+use proptest::prelude::*;
+use spin_sim::engine::{Engine, QueueBackend};
+use spin_sim::time::Time;
+
+/// One step of the interpreted op program: an opcode plus two raw 64-bit
+/// operands the interpreter shapes into times and counts.
+type Op = (u8, u64, u64);
+
+/// Everything observable about one engine while interpreting a program.
+#[derive(Debug, PartialEq, Eq)]
+struct TraceItem {
+    /// Index of the driving op (dispatches during `run_until` record the
+    /// op that ran them; the final drain records `usize::MAX`).
+    op: usize,
+    /// Clock at dispatch.
+    at: Time,
+    /// Event payload.
+    ev: u32,
+}
+
+/// Dispatch closure shared by both engines: record, then deterministically
+/// post follow-ups so the two queues also see in-dispatch posting.
+fn dispatch(
+    trace: &mut Vec<TraceItem>,
+    op: usize,
+) -> impl FnMut(&mut spin_sim::EventQueue<u32>, Time, u32) + '_ {
+    move |q, now, ev| {
+        trace.push(TraceItem { op, at: now, ev });
+        // Follow-ups only for first-generation events, so chains terminate.
+        if ev < 1_000_000 && ev % 5 == 0 {
+            q.post_in(Time::from_ns(u64::from(ev % 7) + 1), ev + 1_000_000);
+        }
+        if ev < 1_000_000 && ev % 11 == 0 {
+            q.post_now(ev + 2_000_000);
+        }
+    }
+}
+
+/// Run the op program on one backend, returning the full observable
+/// behavior: the dispatch trace plus (clock, executed, pending) after
+/// every op.
+fn interpret(backend: QueueBackend, ops: &[Op]) -> (Vec<TraceItem>, Vec<(Time, u64, usize)>) {
+    let mut engine: Engine<u32> = Engine::with_backend(backend);
+    let mut trace = Vec::new();
+    let mut states = Vec::new();
+    let mut next_ev = 0u32;
+    let mut ev = || {
+        next_ev += 1;
+        next_ev
+    };
+    for (i, &(code, a, b)) in ops.iter().enumerate() {
+        let now = engine.now();
+        match code % 8 {
+            // Same-time burst: FIFO tie-break, all in one bucket.
+            0 => {
+                for _ in 0..(a % 8 + 1) {
+                    engine.queue_mut().post_now(ev());
+                }
+            }
+            // Near-term post at an arbitrary sub-width offset.
+            1 => engine
+                .queue_mut()
+                .post_at(now + Time::from_ps(a % 4096), ev()),
+            // Bucket-boundary ties: exact multiples of the calendar's
+            // initial width (1024 ps), ±1 ps.
+            2 => {
+                let base = (a % 64) * 1024;
+                let jitter = [0i64, 1, -1][(b % 3) as usize];
+                let t = (base as i64 + jitter).max(0) as u64;
+                engine.queue_mut().post_at(now + Time::from_ps(t), ev());
+            }
+            // Relative post up to 100 ns out.
+            3 => engine.queue_mut().post_in(Time::from_ps(a % 100_000), ev()),
+            // Sparse far-future jump: seconds ahead, far beyond any
+            // calendar horizon (overflow list + jump on pop).
+            4 => engine
+                .queue_mut()
+                .post_at(now + Time::from_us((a % 4 + 1) * 1_000_000), ev()),
+            // Resize-triggering storm: a burst big enough to force ring
+            // growth, spread over a pseudorandom span.
+            5 => {
+                let count = 64 + a % 192;
+                let mut x = b | 1;
+                for _ in 0..count {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    engine
+                        .queue_mut()
+                        .post_at(now + Time::from_ps(x % 2_000_000), ev());
+                }
+            }
+            // run_until with a deadline that may fall before, between, or
+            // after everything pending; dispatch posts follow-ups.
+            6 => {
+                let deadline = now + Time::from_ps(a % 200_000);
+                let end = engine.run_until(deadline, dispatch(&mut trace, i));
+                assert_eq!(end, deadline);
+            }
+            // Deep drain: a deadline big enough to rotate through (or
+            // jump over) long empty stretches.
+            _ => {
+                let deadline = now + Time::from_us(a % 3 * 1_000_000 + 1);
+                engine.run_until(deadline, dispatch(&mut trace, i));
+            }
+        }
+        states.push((
+            engine.now(),
+            engine.executed(),
+            engine.queue_mut().pending(),
+        ));
+    }
+    // Drain to quiescence so every queued event's dispatch is compared.
+    engine.run_with(dispatch(&mut trace, usize::MAX));
+    states.push((
+        engine.now(),
+        engine.executed(),
+        engine.queue_mut().pending(),
+    ));
+    (trace, states)
+}
+
+proptest! {
+    /// Cases come from the default config so `PROPTEST_CASES` scales the
+    /// suite in CI.
+    #[test]
+    fn calendar_and_heap_backends_dispatch_identically(
+        ops in collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60),
+    ) {
+        let (cal_trace, cal_states) = interpret(QueueBackend::Calendar, &ops);
+        let (heap_trace, heap_states) = interpret(QueueBackend::Heap, &ops);
+        prop_assert_eq!(
+            cal_states, heap_states,
+            "clock/executed/pending diverged"
+        );
+        prop_assert_eq!(cal_trace.len(), heap_trace.len(), "dispatch counts diverged");
+        for (a, b) in cal_trace.iter().zip(&heap_trace) {
+            prop_assert_eq!(a, b, "dispatch order diverged");
+        }
+    }
+}
+
+/// A directed (non-random) worst case on top of the property: thousands of
+/// same-time events interleaved across bucket boundaries while the ring
+/// resizes, popped through `run_until` at every boundary.
+#[test]
+fn directed_boundary_storm_matches_reference() {
+    let build = |backend| {
+        let mut engine: Engine<u32> = Engine::with_backend(backend);
+        let mut id = 0u32;
+        for wave in 0..6u64 {
+            for k in 0..200u64 {
+                for _ in 0..3 {
+                    engine
+                        .queue_mut()
+                        .post_at(Time::from_ps(wave * 131 + k * 1024), id);
+                    id += 1;
+                }
+            }
+        }
+        let mut seen = Vec::new();
+        for k in 0..220u64 {
+            engine.run_until(Time::from_ps(k * 1024 + 512), |_, now, ev| {
+                seen.push((now, ev));
+            });
+        }
+        engine.run_with(|_, now, ev| seen.push((now, ev)));
+        seen
+    };
+    assert_eq!(
+        build(QueueBackend::Calendar),
+        build(QueueBackend::Heap),
+        "boundary storm diverged"
+    );
+}

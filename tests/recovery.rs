@@ -10,6 +10,9 @@
 use proptest::prelude::*;
 use spin_apps::saturate::{self, SaturateMode, SaturateParams};
 use spin_core::config::{MachineConfig, NicKind};
+use spin_core::host::{HostApi, HostProgram, MeSpec};
+use spin_core::world::SimBuilder;
+use spin_portals::eq::FullEvent;
 use spin_sim::time::Time;
 
 #[test]
@@ -96,6 +99,107 @@ fn recovery_transitions_reach_the_gantt() {
             .any(|s| s.label.contains("probe"))),
         "sender probes recorded on the RECOV lane"
     );
+}
+
+// ------------------------------------------ Get/Reply retransmit leak
+//
+// Regression for the ROADMAP-filed leak: only Puts/Atomics used to be
+// tracked by the retransmit machinery, so a Get bouncing off a disabled PT
+// was silently lost and its initiator-side `pending_sends` entry leaked
+// forever. Gets now ride the same NACK/backoff/probe path, with the Reply
+// serving as the delivery confirmation.
+
+const GET_LEN: usize = 256;
+const GET_SRC: usize = 0x2_0000;
+const GET_DST: usize = 0x4_0000;
+const GET_TAG: u64 = 7;
+
+/// Target that serves the Get region only after a delay: the first Get
+/// finds no ME, disables the PT, and bounces.
+struct LateGetServer;
+
+impl HostProgram for LateGetServer {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        let pattern: Vec<u8> = (0..GET_LEN).map(|i| (i * 23 % 251) as u8).collect();
+        api.write_host(GET_SRC, &pattern);
+        // Deliberately no ME yet — posted (and the PT re-enabled) later.
+        api.set_timer(Time::from_us(12), 1);
+    }
+
+    fn on_timer(&mut self, _token: u64, api: &mut HostApi<'_>) {
+        api.me_append(MeSpec::recv(0, GET_TAG, (GET_SRC, 0x1000)));
+        api.pt_enable(0);
+        api.mark("served");
+    }
+
+    fn on_event(&mut self, ev: &FullEvent, api: &mut HostApi<'_>) {
+        api.mark(format!("srv-{:?}", ev.kind));
+    }
+}
+
+/// Initiator that issues one Get at t=0 — into the not-yet-armed PT.
+struct EarlyGetClient;
+
+impl HostProgram for EarlyGetClient {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        api.get(1, 0, GET_TAG, 0, GET_LEN, GET_DST);
+    }
+
+    fn on_event(&mut self, ev: &FullEvent, api: &mut HostApi<'_>) {
+        api.mark(format!("cli-{:?}", ev.kind));
+    }
+}
+
+#[test]
+fn bounced_get_is_retransmitted_and_its_pending_send_retired() {
+    let out = SimBuilder::new(MachineConfig::integrated().with_recovery())
+        .add_node(Box::new(EarlyGetClient))
+        .add_node(Box::new(LateGetServer))
+        .run();
+    let report = &out.report;
+    // The Get bounced at least once (NACKed by the target)...
+    assert!(report.node_stats[1].nacks_sent > 0, "target never NACKed");
+    let cli = &report.node_stats[0];
+    assert!(cli.recovery_nacks > 0, "initiator never saw the NACK");
+    assert!(cli.recovery_probes > 0, "Get was never probed");
+    assert_eq!(cli.recovered_messages, 1, "Get not counted as recovered");
+    // ...the reply eventually arrived and deposited the data...
+    assert!(
+        report.mark(0, "cli-Reply").is_some(),
+        "reply never reached the initiator: {:?}",
+        report.marks
+    );
+    assert!(report.mark(0, "cli-Reply").unwrap() > report.mark(1, "served").unwrap());
+    let got = out.world.nodes[0].mem.read(GET_DST, GET_LEN).expect("dst");
+    let want: Vec<u8> = (0..GET_LEN).map(|i| (i * 23 % 251) as u8).collect();
+    assert_eq!(got, &want[..], "reply payload corrupted");
+    // ...and the leak is gone: no initiator-side pending-send entry
+    // survives quiescence (this is the line that failed before the fix).
+    assert!(
+        out.world.nodes[0].nic.pending_sends.is_empty(),
+        "pending_sends leaked: {} entries",
+        out.world.nodes[0].nic.pending_sends.len()
+    );
+    // The host-driven re-enable was charged to the episode accounting.
+    assert_eq!(report.node_stats[1].pt_reenables, 1);
+    assert!(report.node_stats[1].pt_disabled_ns > 0.0);
+}
+
+#[test]
+fn without_recovery_a_bounced_get_still_disables_but_is_lost() {
+    // Baseline contract (paper behaviour, recovery off): the Get is
+    // dropped, no retransmission happens, and the initiator keeps its
+    // pending entry — the documented manual-recovery mode.
+    let out = SimBuilder::new(MachineConfig::integrated())
+        .add_node(Box::new(EarlyGetClient))
+        .add_node(Box::new(LateGetServer))
+        .run();
+    assert!(
+        out.report.mark(0, "cli-Reply").is_none(),
+        "reply from a lost Get"
+    );
+    assert_eq!(out.report.node_stats[0].recovery_nacks, 0);
+    assert_eq!(out.world.nodes[0].nic.pending_sends.len(), 1);
 }
 
 proptest! {

@@ -3,7 +3,8 @@
 //! Supports the subset this workspace's property tests use: the
 //! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
 //! range and tuple strategies, [`collection::vec`], [`any`] and the
-//! `prop_assert*`/`prop_assume!` macros. Cases are generated from a
+//! `prop_assert*`/`prop_assume!` macros, and the `PROPTEST_CASES`
+//! environment variable (overrides the default case count, as upstream). Cases are generated from a
 //! deterministic per-test RNG (seeded from the test's module path and name)
 //! so failures replay exactly; there is no shrinking — the macro prints the
 //! failing inputs instead.
@@ -27,10 +28,18 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        // The real crate defaults to 256; the simulations under test here
-        // are whole-system runs, so default lower and let heavy suites set
-        // their own budget explicitly.
-        ProptestConfig { cases: 64 }
+        // Like the real crate, the `PROPTEST_CASES` environment variable
+        // overrides the default case count (CI uses it to deepen cheap
+        // suites such as the queue-equivalence harness). Suites that set
+        // an explicit `with_cases(..)` budget are unaffected. The real
+        // crate defaults to 256; the simulations under test here are
+        // whole-system runs, so default lower.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
@@ -314,6 +323,20 @@ mod tests {
             // Consume the `any::<bool>()` value so both outcomes occur.
             prop_assert!(u32::from(flag) <= 1);
         }
+    }
+
+    #[test]
+    fn proptest_cases_env_overrides_default() {
+        // (The other tests in this module pin explicit budgets via
+        // `with_cases`, so mutating the variable here cannot skew them.)
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(ProptestConfig::default().cases, 7);
+        std::env::set_var("PROPTEST_CASES", "nonsense");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::default().cases, 64);
     }
 
     #[test]
