@@ -190,7 +190,7 @@ mod tests {
     fn both_modes_compute_identical_results() {
         for mode in [AccMode::Rdma, AccMode::Spin] {
             let out = run_full(MachineConfig::paper(NicKind::Integrated), mode, 64 * 1024);
-            let got = bytes_to_f64(out.world.nodes[1].mem.read(DST_OFF, 64 * 1024).unwrap());
+            let got = bytes_to_f64(&out.world.nodes[1].mem.read(DST_OFF, 64 * 1024).unwrap());
             let want = reference(64 * 1024);
             assert_eq!(got, want, "{mode:?} result mismatch");
         }

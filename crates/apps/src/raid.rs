@@ -430,13 +430,13 @@ pub fn check_parity(out: &SimOutput, w: &RaidWorkload) {
             .mem
             .read(BLOCK_OFF, w.block_len)
             .unwrap();
-        xor_into(&mut expect, block);
+        xor_into(&mut expect, &block);
     }
     let parity = out.world.nodes[PARITY as usize]
         .mem
         .read(BLOCK_OFF, w.block_len)
         .unwrap();
-    assert_eq!(parity, &expect[..], "parity invariant violated");
+    assert_eq!(&parity[..], &expect[..], "parity invariant violated");
 }
 
 #[cfg(test)]

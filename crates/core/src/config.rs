@@ -155,6 +155,14 @@ impl MachineConfig {
         self
     }
 
+    /// Set the RNG seed (per-cell seeds of the parallel sweep harness:
+    /// each `(point, replication)` simulation owns an independent stream
+    /// derived via `spin_sim::rng::cell_seed`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Discrete-NIC paper configuration.
     pub fn discrete() -> Self {
         Self::paper(NicKind::Discrete)

@@ -2,6 +2,7 @@
 //! send path.
 
 use bytes::Bytes;
+use spin_hpu::memory::MemSlice;
 use spin_portals::types::{AckReq, MatchBits, OpKind, ProcessId, PtlAckType, UserHeader};
 
 /// Where the payload of an outgoing message comes from.
@@ -9,6 +10,10 @@ use spin_portals::types::{AckReq, MatchBits, OpKind, ProcessId, PtlAckType, User
 pub enum PayloadSpec {
     /// Bytes already at the NIC (handler put-from-device, control messages).
     Inline(Bytes),
+    /// A copy-on-write snapshot of host memory taken before injection
+    /// (e.g. the Get-serve path snapshots the source at match time). O(1)
+    /// to clone; no payload byte is copied.
+    Pages(MemSlice),
     /// A host-memory region `[offset, offset+len)`. `charge_dma` selects
     /// whether the NIC pays the §4.3 DMA read before injecting (true for
     /// handler put-from-host and triggered operations; false for
@@ -34,6 +39,7 @@ impl PayloadSpec {
     pub fn len(&self) -> usize {
         match self {
             PayloadSpec::Inline(b) => b.len(),
+            PayloadSpec::Pages(s) => s.len(),
             PayloadSpec::HostRegion { len, .. } => *len,
             PayloadSpec::None { len } => *len,
         }

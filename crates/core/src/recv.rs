@@ -101,7 +101,10 @@ impl World {
                 let node = &mut self.nodes[n as usize];
                 let src = outcome.entry.start + outcome.dest_offset;
                 let len = outcome.mlength;
-                let data = node.mem.read_bytes(src, len).expect("get source");
+                // Copy-on-write snapshot at match time: the reply carries
+                // O(1) page views, and later host writes to the source
+                // region clone pages instead of changing the reply.
+                let data = node.mem.read_slice(src, len).expect("get source");
                 let t = node.nic.dma.fetch(match_done, len);
                 self.gantt
                     .record(n, "DMA", t.channel_start, t.complete, 'r', || "get-read");
@@ -114,7 +117,7 @@ impl World {
                     remote_offset: 0,
                     hdr_data: pkt.msg_id,
                     user_hdr: Default::default(),
-                    payload: PayloadSpec::Inline(data),
+                    payload: PayloadSpec::Pages(data),
                     ack: AckReq::None,
                     ack_type: PtlAckType::Ok,
                     reply_dest: 0,

@@ -4,12 +4,18 @@
 //!
 //! Packetization is zero-copy: the message header is built **once** and
 //! shared across all packets via `Arc`, and every packet payload is an
-//! O(1) reference-counted slice of the one wire buffer.
+//! O(1) reference-counted slice of the wire buffer. Host-region payloads
+//! are snapshotted as copy-on-write page views ([`MemSlice`]), so
+//! injection is O(1) in message size: a multi-MB send bumps a handful of
+//! page refcounts instead of copying the bytes, and later host writes to
+//! the region clone the affected pages rather than corrupting in-flight
+//! packets.
 
 use crate::msg::{Notify, OutMsg, PayloadSpec};
 use crate::nic::PendingSend;
 use crate::world::{Ev, World};
-use bytes::{Bytes, BytesMut};
+use bytes::Bytes;
+use spin_hpu::memory::MemSlice;
 use spin_portals::ct::TriggeredAction;
 use spin_portals::types::{AckReq, OpKind, Packet, PtlAckType, PtlHeader};
 use spin_sim::engine::EventQueue;
@@ -34,18 +40,20 @@ impl World {
             crate::recovery::SendStep::Transmit => {}
         }
         let is_get = matches!(msg.op, OpKind::Get);
-        // Materialize payload bytes and the time the data is ready at the NIC.
-        let (ready, data): (Time, Bytes) = match &msg.payload {
-            PayloadSpec::Inline(b) => (now, b.clone()),
+        // Snapshot the payload (O(1) copy-on-write page views for host
+        // regions) and the time the data is ready at the NIC.
+        let (ready, data): (Time, MemSlice) = match &msg.payload {
+            PayloadSpec::Inline(b) => (now, MemSlice::from_bytes(b.clone())),
+            PayloadSpec::Pages(s) => (now, s.clone()),
             PayloadSpec::HostRegion {
                 offset,
                 len,
                 charge_dma,
             } => {
                 let node = &mut self.nodes[n as usize];
-                let bytes = node
+                let view = node
                     .mem
-                    .read_bytes(*offset, *len)
+                    .read_slice(*offset, *len)
                     .expect("send region out of bounds");
                 let ready = if *charge_dma {
                     let t = node.nic.dma.fetch(now, *len);
@@ -55,9 +63,9 @@ impl World {
                 } else {
                     now
                 };
-                (ready, bytes)
+                (ready, view)
             }
-            PayloadSpec::None { .. } => (now, Bytes::new()),
+            PayloadSpec::None { .. } => (now, MemSlice::empty()),
         };
         let total_len = msg.user_hdr.len() + data.len();
         let wire_len = if is_get { 0 } else { total_len };
@@ -90,14 +98,12 @@ impl World {
                 },
             );
         }
-        // Wire payload = user header bytes ++ data.
-        let full: Bytes = if msg.user_hdr.is_empty() {
+        // Wire payload = user header bytes ++ data (an O(1) segment
+        // prepend — the header becomes the view's first segment).
+        let full: MemSlice = if msg.user_hdr.is_empty() {
             data
         } else {
-            let mut b = BytesMut::with_capacity(total_len);
-            b.extend_from_slice(msg.user_hdr.as_bytes());
-            b.extend_from_slice(&data);
-            b.freeze()
+            data.prepended(msg.user_hdr.to_bytes())
         };
         let params = self.config.net;
         let total = params.packets_for(wire_len) as u32;
@@ -115,7 +121,7 @@ impl World {
                 total,
                 offset: off,
                 attempt: msg.attempt,
-                payload: full.slice(off..off + size),
+                payload: full.slice(off, size),
                 header: Arc::clone(&header),
             };
             q.post_at(timing.arrival, Ev::PacketArrive(msg.dst, Box::new(pkt)));

@@ -7,7 +7,7 @@
 //! * **handler cycle cost** (gem5 substitution robustness) — ping-pong
 //!   latency when handler compute is scaled ±4× around the cost model.
 
-use rayon::prelude::*;
+use crate::sweep;
 use spin_apps::accumulate::{self, AccMode};
 use spin_core::config::{MachineConfig, NicKind};
 use spin_core::handlers::FnHandlers;
@@ -23,21 +23,18 @@ pub fn hpu_count_table(quick: bool) -> Table {
     let bytes = if quick { 256 * 1024 } else { 1 << 20 };
     let cores = [1usize, 2, 4, 8, 16];
     let mut table = Table::new("ablation-hpus", "HPU cores", "accumulate (us)");
-    let rows: Vec<_> = cores
-        .par_iter()
-        .map(|&c| {
-            let mut ys = Vec::new();
-            for yield_on_dma in [false, true] {
-                let mut cfg = MachineConfig::paper(NicKind::Integrated);
-                cfg.hpu.cores = c;
-                cfg.hpu.yield_on_dma = yield_on_dma;
-                let t = accumulate::run(cfg, AccMode::Spin, bytes);
-                let label = if yield_on_dma { "yield" } else { "stall" };
-                ys.push((label.to_string(), t));
-            }
-            (c as f64, ys)
-        })
-        .collect();
+    let rows = sweep::map_points(&cores, |&c, cell| {
+        let mut ys = Vec::new();
+        for yield_on_dma in [false, true] {
+            let mut cfg = MachineConfig::paper(NicKind::Integrated).with_seed(cell.seed);
+            cfg.hpu.cores = c;
+            cfg.hpu.yield_on_dma = yield_on_dma;
+            let t = accumulate::run(cfg, AccMode::Spin, bytes);
+            let label = if yield_on_dma { "yield" } else { "stall" };
+            ys.push((label.to_string(), t));
+        }
+        (c as f64, ys)
+    });
     for (x, ys) in rows {
         table.push(x, ys);
     }
@@ -86,32 +83,30 @@ impl HostProgram for CostEcho {
 pub fn handler_cost_table(_quick: bool) -> Table {
     let bytes = 64 * 1024;
     let mut table = Table::new("ablation-handler-cost", "extra cycles/packet", "echo (us)");
-    let rows: Vec<_> = [0u64, 8, 32, 128, 512, 2048]
-        .par_iter()
-        .map(|&extra| {
-            let mut cfg = MachineConfig::paper(NicKind::Integrated);
-            cfg.host.mem_size = 4 << 20;
-            let out = SimBuilder::new(cfg)
-                .add_node(Box::new(CostClient { bytes }))
-                .add_node(Box::new(CostEcho {
-                    extra_cycles: extra,
-                    bytes,
-                }))
-                .run();
-            // Any Put event back means a packet echo landed; the last one
-            // is when the stream completed.
-            let done = out
-                .report
-                .marks
-                .iter()
-                .filter(|(r, l, _)| *r == 0 && l == "done")
-                .map(|(_, _, t)| *t)
-                .max()
-                .expect("done");
-            let post = out.report.mark(0, "post").expect("post");
-            (extra as f64, vec![("echo".to_string(), (done - post).us())])
-        })
-        .collect();
+    let extras = [0u64, 8, 32, 128, 512, 2048];
+    let rows = sweep::map_points(&extras, |&extra, cell| {
+        let mut cfg = MachineConfig::paper(NicKind::Integrated).with_seed(cell.seed);
+        cfg.host.mem_size = 4 << 20;
+        let out = SimBuilder::new(cfg)
+            .add_node(Box::new(CostClient { bytes }))
+            .add_node(Box::new(CostEcho {
+                extra_cycles: extra,
+                bytes,
+            }))
+            .run();
+        // Any Put event back means a packet echo landed; the last one
+        // is when the stream completed.
+        let done = out
+            .report
+            .marks
+            .iter()
+            .filter(|(r, l, _)| *r == 0 && l == "done")
+            .map(|(_, _, t)| *t)
+            .max()
+            .expect("done");
+        let post = out.report.mark(0, "post").expect("post");
+        (extra as f64, vec![("echo".to_string(), (done - post).us())])
+    });
     for (x, ys) in rows {
         table.push(x, ys);
     }

@@ -1,7 +1,6 @@
 //! Figures 3b/3c (ping-pong) and 3d (accumulate).
 
-use crate::pow2_sweep;
-use rayon::prelude::*;
+use crate::{pow2_sweep, sweep};
 use spin_apps::accumulate::{self, AccMode};
 use spin_apps::pingpong::{self, PingPongMode};
 use spin_core::config::{MachineConfig, NicKind};
@@ -17,19 +16,17 @@ pub fn pingpong_table(nic: NicKind, quick: bool) -> Table {
         NicKind::Discrete => "fig3c-pingpong-dis",
     };
     let mut table = Table::new(name, "bytes", "half RTT (us)");
-    let rows: Vec<_> = sizes
-        .par_iter()
-        .map(|&bytes| {
-            let ys: Vec<(String, f64)> = PingPongMode::ALL
-                .iter()
-                .map(|&mode| {
-                    let t = pingpong::run(MachineConfig::paper(nic), mode, bytes, rounds);
-                    (mode.label().to_string(), t)
-                })
-                .collect();
-            (bytes as f64, ys)
-        })
-        .collect();
+    let rows = sweep::map_points(&sizes, |&bytes, cell| {
+        let ys: Vec<(String, f64)> = PingPongMode::ALL
+            .iter()
+            .map(|&mode| {
+                let cfg = MachineConfig::paper(nic).with_seed(cell.seed);
+                let t = pingpong::run(cfg, mode, bytes, rounds);
+                (mode.label().to_string(), t)
+            })
+            .collect();
+        (bytes as f64, ys)
+    });
     for (x, ys) in rows {
         table.push(x, ys);
     }
@@ -40,19 +37,17 @@ pub fn pingpong_table(nic: NicKind, quick: bool) -> Table {
 pub fn accumulate_table(quick: bool) -> Table {
     let sizes = pow2_sweep(4, if quick { 14 } else { 18 }, quick);
     let mut table = Table::new("fig3d-accumulate", "bytes", "completion (us)");
-    let rows: Vec<_> = sizes
-        .par_iter()
-        .map(|&bytes| {
-            let mut ys = Vec::new();
-            for nic in [NicKind::Integrated, NicKind::Discrete] {
-                for mode in [AccMode::Rdma, AccMode::Spin] {
-                    let t = accumulate::run(MachineConfig::paper(nic), mode, bytes);
-                    ys.push((format!("{}({})", mode.label(), nic.label()), t));
-                }
+    let rows = sweep::map_points(&sizes, |&bytes, cell| {
+        let mut ys = Vec::new();
+        for nic in [NicKind::Integrated, NicKind::Discrete] {
+            for mode in [AccMode::Rdma, AccMode::Spin] {
+                let cfg = MachineConfig::paper(nic).with_seed(cell.seed);
+                let t = accumulate::run(cfg, mode, bytes);
+                ys.push((format!("{}({})", mode.label(), nic.label()), t));
             }
-            (bytes as f64, ys)
-        })
-        .collect();
+        }
+        (bytes as f64, ys)
+    });
     for (x, ys) in rows {
         table.push(x, ys);
     }

@@ -1,18 +1,22 @@
 //! Figure 4: HPUs needed for line rate over packet size and handler time
 //! (the analytic Little's-law model of §4.4.2).
 
+use crate::sweep;
 use spin_sim::littles_law::LittlesLaw;
 use spin_sim::stats::Table;
 use spin_sim::time::Time;
 
 /// The Fig. 4 series: handler times 100/200/500/1000 ns over packet sizes
-/// up to 4 KiB.
+/// up to 4 KiB. Analytic (no simulation), but routed through the sweep
+/// harness like every other experiment so the whole pipeline exercises
+/// one code path.
 pub fn hpus_table(quick: bool) -> Table {
     let model = LittlesLaw::paper();
     let step = if quick { 512 } else { 64 };
+    let sizes: Vec<usize> = (step..=4096).step_by(step).collect();
     let mut table = Table::new("fig4-hpus-needed", "packet bytes", "HPUs");
-    for s in (step..=4096).step_by(step) {
-        let ys = [100u64, 200, 500, 1000]
+    let rows = sweep::map_points(&sizes, |&s, _cell| {
+        let ys: Vec<(String, f64)> = [100u64, 200, 500, 1000]
             .iter()
             .map(|&t| {
                 (
@@ -21,7 +25,10 @@ pub fn hpus_table(quick: bool) -> Table {
                 )
             })
             .collect();
-        table.push(s as f64, ys);
+        (s as f64, ys)
+    });
+    for (x, ys) in rows {
+        table.push(x, ys);
     }
     table
 }

@@ -1,7 +1,7 @@
 //! Figure 5a: binomial broadcast latency over process count, 8 B and
 //! 64 KiB, discrete NIC, RDMA vs P4 vs sPIN.
 
-use rayon::prelude::*;
+use crate::sweep;
 use spin_apps::bcast::{self, BcastMode};
 use spin_core::config::{MachineConfig, NicKind};
 use spin_sim::stats::Table;
@@ -18,19 +18,17 @@ pub fn process_counts(quick: bool) -> Vec<u32> {
 /// The Fig. 5a table: one series per (size, mode).
 pub fn bcast_table(quick: bool) -> Table {
     let mut table = Table::new("fig5a-bcast-dis", "processes", "latency (us)");
-    let rows: Vec<_> = process_counts(quick)
-        .par_iter()
-        .map(|&p| {
-            let mut ys = Vec::new();
-            for &(bytes, label) in &[(8usize, "8B"), (64 * 1024, "64KiB")] {
-                for mode in BcastMode::ALL {
-                    let t = bcast::run(MachineConfig::paper(NicKind::Discrete), mode, bytes, p);
-                    ys.push((format!("{}({})", mode.label(), label), t));
-                }
+    let rows = sweep::map_points(&process_counts(quick), |&p, cell| {
+        let mut ys = Vec::new();
+        for &(bytes, label) in &[(8usize, "8B"), (64 * 1024, "64KiB")] {
+            for mode in BcastMode::ALL {
+                let cfg = MachineConfig::paper(NicKind::Discrete).with_seed(cell.seed);
+                let t = bcast::run(cfg, mode, bytes, p);
+                ys.push((format!("{}({})", mode.label(), label), t));
             }
-            (p as f64, ys)
-        })
-        .collect();
+        }
+        (p as f64, ys)
+    });
     for (x, ys) in rows {
         table.push(x, ys);
     }

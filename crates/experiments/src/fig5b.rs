@@ -5,6 +5,7 @@
 //! traffic for each case (eager/rendezvous × posted-early/posted-late),
 //! host-progressed vs offloaded.
 
+use crate::sweep;
 use spin_apps::matching::{default_config, Endpoint};
 use spin_core::config::{MachineConfig, NicKind};
 use spin_core::host::{HostApi, HostProgram};
@@ -70,8 +71,8 @@ impl HostProgram for Receiver {
     }
 }
 
-fn run_case(bytes: usize, offload: bool, late: bool) -> SimOutput {
-    let mut cfg = MachineConfig::paper(NicKind::Integrated);
+fn run_case(bytes: usize, offload: bool, late: bool, seed: u64) -> SimOutput {
+    let mut cfg = MachineConfig::paper(NicKind::Integrated).with_seed(seed);
     cfg.host.mem_size = MEM;
     cfg.host.cores = 1;
     SimBuilder::new(cfg)
@@ -86,7 +87,8 @@ fn run_case(bytes: usize, offload: bool, late: bool) -> SimOutput {
 }
 
 /// The Fig. 5b table: per case, completion latency (from post or arrival)
-/// and host-memory copy bytes, host vs offloaded.
+/// and host-memory copy bytes, host vs offloaded. The four protocol cases
+/// are the sweep points.
 pub fn matching_table(_quick: bool) -> Table {
     let mut table = Table::new("fig5b-matching", "case", "recv latency (us) / copies (KiB)");
     let cases = [
@@ -95,10 +97,10 @@ pub fn matching_table(_quick: bool) -> Table {
         ("II-rdv-posted", 256 * 1024, false),
         ("IV-rdv-late", 256 * 1024, true),
     ];
-    for (i, &(_name, bytes, late)) in cases.iter().enumerate() {
+    let rows = sweep::map_points(&cases, |&(_name, bytes, late), cell| {
         let mut ys = Vec::new();
         for offload in [false, true] {
-            let out = run_case(bytes, offload, late);
+            let out = run_case(bytes, offload, late, cell.seed);
             let done = out.report.mark(1, "recv_done").expect("completed");
             let posted = out.report.mark(1, "posted").expect("posted");
             let latency = (done.saturating_sub(posted)).us();
@@ -107,7 +109,10 @@ pub fn matching_table(_quick: bool) -> Table {
             ys.push((format!("{tag}-latency"), latency));
             ys.push((format!("{tag}-copyKiB"), copies));
         }
-        table.push(i as f64 + 1.0, ys);
+        (cell.point as f64 + 1.0, ys)
+    });
+    for (x, ys) in rows {
+        table.push(x, ys);
     }
     table
 }

@@ -1,7 +1,6 @@
 //! Figure 7a (strided datatype receive) and 7c (RAID-5 update latency).
 
-use crate::pow2_sweep;
-use rayon::prelude::*;
+use crate::{pow2_sweep, sweep};
 use spin_apps::datatypes::{self, DdtMode};
 use spin_apps::raid::{self, RaidMode};
 use spin_core::config::{MachineConfig, NicKind};
@@ -14,21 +13,19 @@ pub fn ddt_table(quick: bool) -> Table {
     let total: usize = if quick { 1 << 20 } else { 1 << 22 };
     let sizes = pow2_sweep(if quick { 8 } else { 4 }, 18, quick);
     let mut table = Table::new("fig7a-ddt", "block bytes", "completion (us)");
-    let rows: Vec<_> = sizes
-        .par_iter()
-        .filter(|&&b| b <= total)
-        .map(|&blocksize| {
-            let dt = datatypes::fig7a_dt(total, blocksize);
-            let mut ys = Vec::new();
-            for nic in [NicKind::Integrated, NicKind::Discrete] {
-                for mode in [DdtMode::Rdma, DdtMode::Spin] {
-                    let t = datatypes::run(MachineConfig::paper(nic), mode, dt);
-                    ys.push((format!("{}({})", mode.label(), nic.label()), t));
-                }
+    let blocks: Vec<usize> = sizes.into_iter().filter(|&b| b <= total).collect();
+    let rows = sweep::map_points(&blocks, |&blocksize, cell| {
+        let dt = datatypes::fig7a_dt(total, blocksize);
+        let mut ys = Vec::new();
+        for nic in [NicKind::Integrated, NicKind::Discrete] {
+            for mode in [DdtMode::Rdma, DdtMode::Spin] {
+                let cfg = MachineConfig::paper(nic).with_seed(cell.seed);
+                let t = datatypes::run(cfg, mode, dt);
+                ys.push((format!("{}({})", mode.label(), nic.label()), t));
             }
-            (blocksize as f64, ys)
-        })
-        .collect();
+        }
+        (blocksize as f64, ys)
+    });
     for (x, ys) in rows {
         table.push(x, ys);
     }
@@ -49,19 +46,17 @@ pub fn ddt_bandwidth(table: &Table, series: &str, total: usize) -> f64 {
 pub fn raid_table(quick: bool) -> Table {
     let sizes = pow2_sweep(2, if quick { 14 } else { 18 }, quick);
     let mut table = Table::new("fig7c-raid", "bytes", "completion (us)");
-    let rows: Vec<_> = sizes
-        .par_iter()
-        .map(|&bytes| {
-            let mut ys = Vec::new();
-            for nic in [NicKind::Integrated, NicKind::Discrete] {
-                for mode in [RaidMode::Rdma, RaidMode::Spin] {
-                    let t = raid::run_fig7c(MachineConfig::paper(nic), mode, bytes);
-                    ys.push((format!("{}({})", mode.label(), nic.label()), t));
-                }
+    let rows = sweep::map_points(&sizes, |&bytes, cell| {
+        let mut ys = Vec::new();
+        for nic in [NicKind::Integrated, NicKind::Discrete] {
+            for mode in [RaidMode::Rdma, RaidMode::Spin] {
+                let cfg = MachineConfig::paper(nic).with_seed(cell.seed);
+                let t = raid::run_fig7c(cfg, mode, bytes);
+                ys.push((format!("{}({})", mode.label(), nic.label()), t));
             }
-            (bytes as f64, ys)
-        })
-        .collect();
+        }
+        (bytes as f64, ys)
+    });
     for (x, ys) in rows {
         table.push(x, ys);
     }

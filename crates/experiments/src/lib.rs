@@ -27,6 +27,7 @@ pub mod fig5b;
 pub mod fig7;
 pub mod saturation;
 pub mod spc;
+pub mod sweep;
 pub mod table5;
 
 /// Common experiment options parsed from argv.
@@ -36,22 +37,37 @@ pub struct Opts {
     pub quick: bool,
     /// Emit JSON instead of text tables.
     pub json: bool,
+    /// Sweep worker threads: `Some(n)` when `--jobs n` was given
+    /// (`Some(0)` = explicitly "one per available core"), `None` when the
+    /// flag was absent (inherit `SPIN_JOBS` / auto). Output is
+    /// bit-identical at every setting (see [`sweep`]).
+    pub jobs: Option<usize>,
 }
 
 impl Opts {
     /// Parse from `std::env::args`. Exits 0 on `--help`; exits non-zero on
     /// an unknown argument so sweep scripts fail loudly instead of running
-    /// the wrong configuration.
+    /// the wrong configuration. An explicit `--jobs` is exported to the
+    /// process environment as `SPIN_JOBS` so every sweep in the binary
+    /// (and the vendored rayon pool) honors it.
     pub fn from_args() -> Self {
-        const USAGE: &str = "options: --quick (small sweeps)  --json (machine-readable)";
+        const USAGE: &str = "options: --quick (small sweeps)  --json (machine-readable)  --jobs N (sweep workers, 0 = all cores)";
         match Self::parse(std::env::args().skip(1)) {
-            Ok(Some(o)) => o,
+            Ok(Some(o)) => {
+                if let Some(jobs) = o.jobs {
+                    // Exported even when 0: an explicit `--jobs 0` must
+                    // override an inherited SPIN_JOBS (the parsers treat
+                    // a non-positive value as "auto").
+                    std::env::set_var("SPIN_JOBS", jobs.to_string());
+                }
+                o
+            }
             Ok(None) => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
             }
             Err(bad) => {
-                eprintln!("error: unknown argument {bad:?}");
+                eprintln!("error: bad argument {bad:?}");
                 eprintln!("{USAGE}");
                 std::process::exit(2);
             }
@@ -59,14 +75,22 @@ impl Opts {
     }
 
     /// Parse an argument list without touching the process: `Ok(None)`
-    /// means `--help` was requested, `Err` carries the first unknown
+    /// means `--help` was requested, `Err` carries the offending
     /// argument.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Option<Self>, String> {
         let mut o = Opts::default();
-        for a in args {
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => o.quick = true,
                 "--json" => o.json = true,
+                "--jobs" => {
+                    let n = it.next().ok_or_else(|| "--jobs (missing N)".to_string())?;
+                    o.jobs = Some(
+                        n.parse()
+                            .map_err(|_| format!("--jobs {n} (not a worker count)"))?,
+                    );
+                }
                 "--help" | "-h" => return Ok(None),
                 _ => return Err(a),
             }
@@ -115,5 +139,30 @@ mod tests {
             Opts::parse(args(&["--json", "extra"])),
             Err("extra".to_string())
         );
+    }
+
+    #[test]
+    fn opts_parse_jobs() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Absent flag: inherit SPIN_JOBS / auto.
+        assert_eq!(Opts::parse(args(&[])).unwrap().unwrap().jobs, None);
+        let o = Opts::parse(args(&["--jobs", "4", "--quick"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(o.jobs, Some(4));
+        assert!(o.quick);
+        // Explicit 0 is distinguishable from absent: it must override an
+        // inherited SPIN_JOBS back to auto.
+        assert_eq!(
+            Opts::parse(args(&["--jobs", "0"])).unwrap().unwrap().jobs,
+            Some(0)
+        );
+        // Missing or malformed N fails loudly instead of being swallowed.
+        assert_eq!(
+            Opts::parse(args(&["--jobs"])),
+            Err("--jobs (missing N)".to_string())
+        );
+        assert!(Opts::parse(args(&["--jobs", "many"])).is_err());
+        assert!(Opts::parse(args(&["--jobs", "-1"])).is_err());
     }
 }

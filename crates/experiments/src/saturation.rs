@@ -15,7 +15,7 @@
 //!   stays disabled per episode: NIC-local (drain HPU contexts) for sPIN,
 //!   host-bound (drain the event backlog, repost, `PtlPTEnable`) for RDMA.
 
-use rayon::prelude::*;
+use crate::sweep;
 use spin_apps::saturate::{self, SaturateMode, SaturateParams};
 use spin_core::config::{MachineConfig, NicKind};
 use spin_sim::stats::Table;
@@ -46,25 +46,24 @@ fn intervals(quick: bool) -> Vec<Time> {
 /// One sweep for one NIC kind: per offered-load point, the outcome of
 /// each transport (each simulation runs once; both tables derive from it).
 fn sweep(nic: NicKind, quick: bool) -> Vec<(f64, Vec<(String, saturate::SaturateOutcome)>)> {
-    intervals(quick)
-        .par_iter()
-        .map(|&interval| {
-            let p = params(interval, quick);
-            let ys: Vec<(String, saturate::SaturateOutcome)> = SaturateMode::ALL
-                .iter()
-                .map(|&mode| {
-                    let o =
-                        saturate::run_outcome(MachineConfig::paper(nic).with_recovery(), mode, p);
-                    assert_eq!(
-                        o.completed, o.sent,
-                        "{mode:?}/{nic:?} lost messages under recovery"
-                    );
-                    (mode.label().to_string(), o)
-                })
-                .collect();
-            (p.offered_gbps(), ys)
-        })
-        .collect()
+    sweep::map_points(&intervals(quick), |&interval, cell| {
+        let p = params(interval, quick);
+        let ys: Vec<(String, saturate::SaturateOutcome)> = SaturateMode::ALL
+            .iter()
+            .map(|&mode| {
+                let cfg = MachineConfig::paper(nic)
+                    .with_recovery()
+                    .with_seed(cell.seed);
+                let o = saturate::run_outcome(cfg, mode, p);
+                assert_eq!(
+                    o.completed, o.sent,
+                    "{mode:?}/{nic:?} lost messages under recovery"
+                );
+                (mode.label().to_string(), o)
+            })
+            .collect();
+        (p.offered_gbps(), ys)
+    })
 }
 
 fn tables_from_sweep(

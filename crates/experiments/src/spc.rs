@@ -1,6 +1,6 @@
 //! §5.3: SPC storage-trace replay over the RAID-5 cluster.
 
-use rayon::prelude::*;
+use crate::sweep;
 use spin_core::config::{MachineConfig, NicKind};
 use spin_sim::stats::Table;
 use spin_trace::spc::{improvement, paper_traces};
@@ -11,18 +11,15 @@ pub fn spc_table(quick: bool) -> Table {
     let n = if quick { 40 } else { 200 };
     let traces = paper_traces(n);
     let mut table = Table::new("spc-traces", "trace#", "sPIN improvement (%)");
-    let rows: Vec<_> = traces
-        .par_iter()
-        .enumerate()
-        .map(|(i, (name, recs))| {
-            let mut ys = Vec::new();
-            for nic in [NicKind::Integrated, NicKind::Discrete] {
-                let imp = improvement(MachineConfig::paper(nic), recs);
-                ys.push((format!("{name}({})", nic.label()), imp * 100.0));
-            }
-            (i as f64 + 1.0, ys)
-        })
-        .collect();
+    let rows = sweep::map_points(&traces, |(name, recs), cell| {
+        let mut ys = Vec::new();
+        for nic in [NicKind::Integrated, NicKind::Discrete] {
+            let cfg = MachineConfig::paper(nic).with_seed(cell.seed);
+            let imp = improvement(cfg, recs);
+            ys.push((format!("{name}({})", nic.label()), imp * 100.0));
+        }
+        (cell.point as f64 + 1.0, ys)
+    });
     for (x, ys) in rows {
         table.push(x, ys);
     }

@@ -8,7 +8,7 @@
 //! thus slightly *understates* speedups — the paper makes the same remark
 //! about short runs.
 
-use rayon::prelude::*;
+use crate::sweep;
 use spin_core::config::{MachineConfig, NicKind};
 use spin_sim::stats::Table;
 use spin_trace::apps::{table5c_row, AppKind};
@@ -33,14 +33,11 @@ pub fn apps_table(quick: bool) -> Table {
     };
     let iters = if quick { 4 } else { 12 };
     let mut table = Table::new("table5c-apps", "row", "per-app metrics");
-    let rows: Vec<_> = configs
-        .par_iter()
-        .map(|&(app, p)| {
-            let (ovhd, speedup, base, _spin) =
-                table5c_row(MachineConfig::paper(NicKind::Integrated), app, p, iters);
-            (app, p, ovhd, speedup, base.messages)
-        })
-        .collect();
+    let rows = sweep::map_points(&configs, |&(app, p), cell| {
+        let cfg = MachineConfig::paper(NicKind::Integrated).with_seed(cell.seed);
+        let (ovhd, speedup, base, _spin) = table5c_row(cfg, app, p, iters);
+        (app, p, ovhd, speedup, base.messages)
+    });
     for (i, (app, p, ovhd, speedup, msgs)) in rows.into_iter().enumerate() {
         table.push(
             i as f64 + 1.0,

@@ -114,7 +114,10 @@ macro_rules! binary_smoke {
     ($($test:ident => $env:literal),+ $(,)?) => {$(
         #[test]
         fn $test() {
-            let text = run_binary(env!($env), &[]);
+            // `--jobs 2` rides along on every binary: the flag must parse
+            // everywhere and a 2-worker sweep must emit the same table
+            // shape a default run does.
+            let text = run_binary(env!($env), &["--jobs", "2"]);
             assert!(text.contains("# "), "no table header in output:\n{text}");
             assert!(
                 text.lines().count() >= 3,
@@ -169,6 +172,34 @@ fn unknown_argument_exits_nonzero() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("--quikc"),
+        "stderr names the bad arg: {stderr}"
+    );
+}
+
+#[test]
+fn jobs_flag_matches_serial_output_and_rejects_garbage() {
+    // The whole point of `--jobs`: a parallel run's bytes equal a serial
+    // run's bytes (the in-process determinism test covers more sweeps;
+    // this pins the flag-to-env wiring through a real binary).
+    let serial = run_binary(
+        env!("CARGO_BIN_EXE_fig3_pingpong"),
+        &["--jobs", "1", "--json"],
+    );
+    let parallel = run_binary(
+        env!("CARGO_BIN_EXE_fig3_pingpong"),
+        &["--jobs", "4", "--json"],
+    );
+    assert!(serial == parallel, "--jobs changed the emitted bytes");
+
+    // A malformed worker count exits 2 like any other bad argument.
+    let out = Command::new(env!("CARGO_BIN_EXE_saturation"))
+        .args(["--jobs", "many"])
+        .output()
+        .expect("spawn saturation");
+    assert!(!out.status.success(), "garbage --jobs was accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--jobs"),
         "stderr names the bad arg: {stderr}"
     );
 }

@@ -630,7 +630,7 @@ mod tests {
         assert!(c.elapsed() < Time::from_ns(60), "{}", c.elapsed());
         let run = c.finish();
         assert!(run.duration < Time::from_ns(60));
-        assert_eq!(host.read(0, 1).unwrap(), &[1]);
+        assert_eq!(&host.read(0, 1).unwrap()[..], &[1]);
     }
 
     #[test]
@@ -658,7 +658,7 @@ mod tests {
             .unwrap();
         drop(c.finish());
         // Lands at absolute 65536.
-        assert_eq!(host.read(1 << 16, 4).unwrap(), &[9, 9, 9, 9]);
+        assert_eq!(&host.read(1 << 16, 4).unwrap()[..], &[9, 9, 9, 9]);
     }
 
     #[test]

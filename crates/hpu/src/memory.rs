@@ -8,9 +8,17 @@
 //! * [`HostMemory`] — the node's host DRAM that DMA reads/writes target.
 //!   Keeping real bytes here is what lets the reproduction check functional
 //!   correctness (datatype unpack layouts, RAID parity, accumulate values)
-//!   the way the paper's gem5 execution does.
+//!   the way the paper's gem5 execution does. Storage is a vector of
+//!   [`HOST_PAGE`]-sized reference-counted pages with **copy-on-write**
+//!   semantics: [`HostMemory::read_slice`] hands out O(1) page views (a
+//!   [`MemSlice`]) instead of copying the payload, and a write to a page
+//!   that still has live views clones just that page, so every
+//!   outstanding view keeps the exact bytes it saw when it was taken.
+//!   This is what makes message injection O(1) in payload size: the send
+//!   path snapshots a multi-MB region by bumping a handful of refcounts.
 
 use bytes::Bytes;
+use std::sync::{Arc, OnceLock};
 
 /// Error type for out-of-bounds accesses (the model's segmentation
 /// violation).
@@ -45,7 +53,9 @@ macro_rules! typed_accessors {
             pub fn $get(&self, offset: usize) -> Result<$ty, Segv> {
                 const N: usize = std::mem::size_of::<$ty>();
                 let b = self.read(offset, N)?;
-                Ok(<$ty>::from_le_bytes(b.try_into().expect("sized read")))
+                // `as_ref` normalizes both storage shapes: `&[u8]`
+                // (HpuMemory) and `Cow<[u8]>` (paged HostMemory).
+                Ok(<$ty>::from_le_bytes(b.as_ref().try_into().expect("sized read")))
             }
             /// Write a little-endian value at `offset`.
             pub fn $put(&mut self, offset: usize, v: $ty) -> Result<(), Segv> {
@@ -151,58 +161,277 @@ impl HpuMemory {
     }
 }
 
-/// The node's simulated host DRAM.
+/// Copy-on-write page size of [`HostMemory`]: 64 KiB, i.e. 16 network MTUs,
+/// so MTU-aligned sends never straddle a page boundary and per-packet
+/// payload views are O(1) slices of one page.
+pub const HOST_PAGE: usize = 64 * 1024;
+
+/// The shared all-zero page every fresh [`HostMemory`] starts from: a
+/// 64 MiB node allocates nothing until it is written.
+fn zero_page() -> Arc<[u8]> {
+    static ZERO: OnceLock<Arc<[u8]>> = OnceLock::new();
+    Arc::clone(ZERO.get_or_init(|| Arc::from(vec![0u8; HOST_PAGE])))
+}
+
+/// A cheap, immutable view of a [`HostMemory`] byte range: an ordered list
+/// of reference-counted page segments. Taking or cloning one is O(number
+/// of pages touched) refcount bumps — no byte is copied — and the view is
+/// a stable snapshot: later writes to the underlying memory clone the
+/// affected pages instead of mutating them under the view.
+///
+/// [`MemSlice::slice`] produces contiguous [`Bytes`] windows for
+/// packetization: O(1) when the window lies inside one segment (the common
+/// case — packets are MTU-sized and pages are 16 MTUs), a bounded
+/// window-sized copy when it straddles a segment boundary.
+#[derive(Debug, Clone, Default)]
+pub struct MemSlice {
+    segs: Vec<Bytes>,
+    /// Start offset of each segment within the view (`starts[0] == 0`).
+    starts: Vec<usize>,
+    len: usize,
+}
+
+impl MemSlice {
+    /// An empty view.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A single-segment view over already-contiguous bytes.
+    pub fn from_bytes(b: Bytes) -> Self {
+        if b.is_empty() {
+            return Self::empty();
+        }
+        let len = b.len();
+        MemSlice {
+            segs: vec![b],
+            starts: vec![0],
+            len,
+        }
+    }
+
+    /// Bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of underlying segments (introspection for tests/benches).
+    pub fn segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    fn push_seg(&mut self, b: Bytes) {
+        if b.is_empty() {
+            return;
+        }
+        self.starts.push(self.len);
+        self.len += b.len();
+        self.segs.push(b);
+    }
+
+    /// The same view with `prefix` prepended (user-header bytes ahead of
+    /// the payload). O(segments).
+    pub fn prepended(&self, prefix: Bytes) -> MemSlice {
+        let mut out = MemSlice::from_bytes(prefix);
+        for s in &self.segs {
+            out.push_seg(s.clone());
+        }
+        out
+    }
+
+    /// A contiguous window `[start, start+len)` of the view. O(1) when the
+    /// window falls inside one segment; otherwise gathers exactly `len`
+    /// bytes.
+    ///
+    /// # Panics
+    /// Panics if the window is out of range.
+    pub fn slice(&self, start: usize, len: usize) -> Bytes {
+        assert!(
+            start.checked_add(len).is_some_and(|e| e <= self.len),
+            "window {start}+{len} out of range 0..{}",
+            self.len
+        );
+        if len == 0 {
+            return Bytes::new();
+        }
+        // Last segment starting at or before `start`.
+        let i = self.starts.partition_point(|&s| s <= start) - 1;
+        let rel = start - self.starts[i];
+        if rel + len <= self.segs[i].len() {
+            return self.segs[i].slice(rel..rel + len);
+        }
+        // Straddles segments: gather (bounded by the window size).
+        let mut out = Vec::with_capacity(len);
+        let (mut i, mut rel, mut remaining) = (i, rel, len);
+        while remaining > 0 {
+            let seg = &self.segs[i];
+            let take = remaining.min(seg.len() - rel);
+            out.extend_from_slice(&seg[rel..rel + take]);
+            remaining -= take;
+            rel = 0;
+            i += 1;
+        }
+        Bytes::from(out)
+    }
+
+    /// The whole view as contiguous [`Bytes`]: O(1) for single-segment
+    /// views, a full copy otherwise.
+    pub fn to_bytes(&self) -> Bytes {
+        match self.segs.len() {
+            0 => Bytes::new(),
+            1 => self.segs[0].clone(),
+            _ => self.slice(0, self.len),
+        }
+    }
+
+    /// The whole view as a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for s in &self.segs {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+}
+
+/// The node's simulated host DRAM: [`HOST_PAGE`]-sized reference-counted
+/// pages with copy-on-write writes (see the module docs). Cloning a
+/// `HostMemory` is O(pages) refcount bumps; the clone and the original
+/// diverge page by page as either side writes.
 #[derive(Debug, Clone)]
 pub struct HostMemory {
-    data: Vec<u8>,
+    pages: Vec<Arc<[u8]>>,
+    len: usize,
+    cow_clones: u64,
 }
 
 impl HostMemory {
-    /// Allocate `len` bytes of zeroed host memory.
+    /// Allocate `len` bytes of zeroed host memory. All pages start as
+    /// views of one shared zero page, so this allocates no storage.
     pub fn new(len: usize) -> Self {
-        HostMemory { data: vec![0; len] }
+        HostMemory {
+            pages: (0..len.div_ceil(HOST_PAGE)).map(|_| zero_page()).collect(),
+            len,
+            cow_clones: 0,
+        }
     }
 
     /// Size in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether zero-sized.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// Pages cloned by copy-on-write so far (a write landed on a page that
+    /// still had live views or clone sharers). Introspection for tests and
+    /// the injection-copy benchmarks.
+    pub fn cow_clones(&self) -> u64 {
+        self.cow_clones
     }
 
     fn bounds(&self, offset: usize, len: usize) -> Result<(), Segv> {
-        if offset
-            .checked_add(len)
-            .is_some_and(|e| e <= self.data.len())
-        {
+        if offset.checked_add(len).is_some_and(|e| e <= self.len) {
             Ok(())
         } else {
             Err(Segv {
                 offset,
                 len,
-                region: self.data.len(),
+                region: self.len,
             })
         }
     }
 
-    /// Read a slice.
-    pub fn read(&self, offset: usize, len: usize) -> Result<&[u8], Segv> {
+    /// Mutable access to page `p`, cloning it first if any view, snapshot,
+    /// or memory clone still shares it — the copy-on-write step.
+    fn page_mut(&mut self, p: usize) -> &mut [u8] {
+        if Arc::get_mut(&mut self.pages[p]).is_none() {
+            let copy: Arc<[u8]> = Arc::from(self.pages[p].as_ref());
+            self.pages[p] = copy;
+            self.cow_clones += 1;
+        }
+        Arc::get_mut(&mut self.pages[p]).expect("page just uniquified")
+    }
+
+    /// Read a range. Borrowed (zero-copy) when it falls inside one page,
+    /// gathered into an owned buffer when it straddles pages.
+    pub fn read(&self, offset: usize, len: usize) -> Result<std::borrow::Cow<'_, [u8]>, Segv> {
         self.bounds(offset, len)?;
-        Ok(&self.data[offset..offset + len])
+        if len == 0 {
+            // A zero-length read at `offset == self.len` is in bounds but
+            // may sit one-past the last page — don't index it.
+            return Ok(std::borrow::Cow::Borrowed(&[]));
+        }
+        let (p, o) = (offset / HOST_PAGE, offset % HOST_PAGE);
+        if o + len <= HOST_PAGE {
+            return Ok(std::borrow::Cow::Borrowed(&self.pages[p][o..o + len]));
+        }
+        let mut out = Vec::with_capacity(len);
+        let (mut p, mut o, mut remaining) = (p, o, len);
+        while remaining > 0 {
+            let take = remaining.min(HOST_PAGE - o);
+            out.extend_from_slice(&self.pages[p][o..o + take]);
+            remaining -= take;
+            o = 0;
+            p += 1;
+        }
+        Ok(std::borrow::Cow::Owned(out))
     }
 
-    /// Copy a range out as cheap reference-counted bytes (packet payloads).
+    /// A range as contiguous reference-counted bytes: an O(1) page view
+    /// when the range falls inside one page, a gathering copy otherwise.
+    /// For ranges that may span pages, prefer [`HostMemory::read_slice`] —
+    /// it never copies.
     pub fn read_bytes(&self, offset: usize, len: usize) -> Result<Bytes, Segv> {
-        Ok(Bytes::copy_from_slice(self.read(offset, len)?))
+        self.bounds(offset, len)?;
+        if len == 0 {
+            // Same one-past-the-last-page guard as `read`.
+            return Ok(Bytes::new());
+        }
+        let (p, o) = (offset / HOST_PAGE, offset % HOST_PAGE);
+        if o + len <= HOST_PAGE {
+            return Ok(Bytes::from_arc(Arc::clone(&self.pages[p]), o, o + len));
+        }
+        Ok(Bytes::from(self.read(offset, len)?.into_owned()))
     }
 
-    /// Write a slice.
+    /// An O(1) copy-on-write snapshot of a range: a [`MemSlice`] of page
+    /// views. No byte is copied, and later writes to the range clone the
+    /// affected pages instead of mutating the snapshot — this is the
+    /// message-injection path.
+    pub fn read_slice(&self, offset: usize, len: usize) -> Result<MemSlice, Segv> {
+        self.bounds(offset, len)?;
+        let mut out = MemSlice::empty();
+        let (mut p, mut o, mut remaining) = (offset / HOST_PAGE, offset % HOST_PAGE, len);
+        while remaining > 0 {
+            let take = remaining.min(HOST_PAGE - o);
+            out.push_seg(Bytes::from_arc(Arc::clone(&self.pages[p]), o, o + take));
+            remaining -= take;
+            o = 0;
+            p += 1;
+        }
+        Ok(out)
+    }
+
+    /// Write a slice (cloning any shared page it touches).
     pub fn write(&mut self, offset: usize, bytes: &[u8]) -> Result<(), Segv> {
         self.bounds(offset, bytes.len())?;
-        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        let (mut p, mut o, mut src) = (offset / HOST_PAGE, offset % HOST_PAGE, bytes);
+        while !src.is_empty() {
+            let take = src.len().min(HOST_PAGE - o);
+            self.page_mut(p)[o..o + take].copy_from_slice(&src[..take]);
+            src = &src[take..];
+            o = 0;
+            p += 1;
+        }
         Ok(())
     }
 
@@ -215,7 +444,14 @@ impl HostMemory {
     /// Fill a region with a byte value (workload setup).
     pub fn fill(&mut self, offset: usize, len: usize, value: u8) -> Result<(), Segv> {
         self.bounds(offset, len)?;
-        self.data[offset..offset + len].fill(value);
+        let (mut p, mut o, mut remaining) = (offset / HOST_PAGE, offset % HOST_PAGE, len);
+        while remaining > 0 {
+            let take = remaining.min(HOST_PAGE - o);
+            self.page_mut(p)[o..o + take].fill(value);
+            remaining -= take;
+            o = 0;
+            p += 1;
+        }
         Ok(())
     }
 
@@ -300,12 +536,126 @@ mod tests {
     fn host_memory_rw_and_fill() {
         let mut m = HostMemory::new(1024);
         m.write(100, b"hello").unwrap();
-        assert_eq!(m.read(100, 5).unwrap(), b"hello");
+        assert_eq!(&m.read(100, 5).unwrap()[..], b"hello");
         m.fill(0, 10, 0xFF).unwrap();
-        assert_eq!(m.read(9, 1).unwrap(), &[0xFF]);
-        assert_eq!(m.read(10, 1).unwrap(), &[0]);
+        assert_eq!(&m.read(9, 1).unwrap()[..], &[0xFF]);
+        assert_eq!(&m.read(10, 1).unwrap()[..], &[0]);
         let b = m.read_bytes(100, 5).unwrap();
         assert_eq!(&b[..], b"hello");
+    }
+
+    #[test]
+    fn host_memory_cross_page_rw() {
+        // A memory spanning several pages, with accesses that straddle
+        // every boundary: reads gather, writes scatter, typed accessors
+        // handle the 8-byte straddle.
+        let mut m = HostMemory::new(3 * HOST_PAGE + 100);
+        assert_eq!(m.len(), 3 * HOST_PAGE + 100);
+        let pat: Vec<u8> = (0..2 * HOST_PAGE + 77).map(|i| (i % 251) as u8).collect();
+        m.write(HOST_PAGE - 33, &pat).unwrap();
+        assert_eq!(&m.read(HOST_PAGE - 33, pat.len()).unwrap()[..], &pat[..]);
+        m.put_u64(HOST_PAGE - 4, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        assert_eq!(m.get_u64(HOST_PAGE - 4).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        m.fill(HOST_PAGE - 2, 4, 0xEE).unwrap();
+        assert_eq!(&m.read(HOST_PAGE - 2, 4).unwrap()[..], &[0xEE; 4]);
+        // Out-of-bounds at the true length, not the page-rounded one.
+        assert!(m.read(3 * HOST_PAGE + 99, 2).is_err());
+        assert!(m.write(3 * HOST_PAGE + 100, &[1]).is_err());
+    }
+
+    #[test]
+    fn zero_length_reads_at_the_end_are_empty_not_panics() {
+        // A page-multiple-sized memory has no page at index len/HOST_PAGE;
+        // a zero-length access at exactly `len` is still in bounds (the
+        // flat-Vec semantics: `&data[len..len]` was a valid empty slice).
+        let m = HostMemory::new(2 * HOST_PAGE);
+        assert!(m.read(2 * HOST_PAGE, 0).unwrap().is_empty());
+        assert!(m.read_bytes(2 * HOST_PAGE, 0).unwrap().is_empty());
+        assert!(m.read_slice(2 * HOST_PAGE, 0).unwrap().is_empty());
+        assert!(
+            m.read(2 * HOST_PAGE, 1).is_err(),
+            "non-empty is out of bounds"
+        );
+        let zero = HostMemory::new(0);
+        assert!(zero.read(0, 0).unwrap().is_empty());
+        assert!(zero.read_bytes(0, 0).unwrap().is_empty());
+        assert!(zero.read(0, 1).is_err());
+        let mut m = HostMemory::new(2 * HOST_PAGE);
+        m.write(2 * HOST_PAGE, &[]).unwrap();
+        m.fill(2 * HOST_PAGE, 0, 9).unwrap();
+    }
+
+    #[test]
+    fn read_slice_is_a_stable_snapshot_under_cow_writes() {
+        let mut m = HostMemory::new(4 * HOST_PAGE);
+        let pat: Vec<u8> = (0..3 * HOST_PAGE).map(|i| (i % 199) as u8).collect();
+        m.write(0, &pat).unwrap();
+        let baseline_clones = m.cow_clones();
+
+        // A multi-page snapshot copies nothing...
+        let view = m.read_slice(100, 2 * HOST_PAGE).unwrap();
+        assert_eq!(view.segments(), 3, "100-offset 2-page view spans 3 pages");
+        assert_eq!(view.to_vec(), &pat[100..100 + 2 * HOST_PAGE]);
+
+        // ...and a write under it clones exactly the touched page, leaving
+        // the snapshot's bytes intact.
+        m.write(200, &[0xAB; 8]).unwrap();
+        assert_eq!(m.cow_clones(), baseline_clones + 1, "one page cloned");
+        assert_eq!(view.to_vec(), &pat[100..100 + 2 * HOST_PAGE]);
+        assert_eq!(&m.read(200, 8).unwrap()[..], &[0xAB; 8]);
+
+        // Writing the same page again is in place: the clone is unique now
+        // that the old page is only held by the view.
+        m.write(300, &[0xCD; 8]).unwrap();
+        assert_eq!(m.cow_clones(), baseline_clones + 1, "no second clone");
+    }
+
+    #[test]
+    fn host_memory_clone_diverges_page_by_page() {
+        let mut a = HostMemory::new(2 * HOST_PAGE);
+        a.write(10, b"original").unwrap();
+        let mut b = a.clone();
+        b.write(10, b"mutated!").unwrap();
+        a.write(HOST_PAGE + 5, b"only-a").unwrap();
+        assert_eq!(&a.read(10, 8).unwrap()[..], b"original");
+        assert_eq!(&b.read(10, 8).unwrap()[..], b"mutated!");
+        assert_eq!(&b.read(HOST_PAGE + 5, 6).unwrap()[..], &[0u8; 6]);
+    }
+
+    #[test]
+    fn mem_slice_windows() {
+        let mut m = HostMemory::new(2 * HOST_PAGE);
+        let pat: Vec<u8> = (0..2 * HOST_PAGE).map(|i| (i % 241) as u8).collect();
+        m.write(0, &pat).unwrap();
+        let v = m.read_slice(0, 2 * HOST_PAGE).unwrap();
+        assert_eq!(v.len(), 2 * HOST_PAGE);
+        // In-segment window: shares storage (no copy path).
+        let w = v.slice(5, 100);
+        assert_eq!(&w[..], &pat[5..105]);
+        // Straddling window: gathered, still correct.
+        let w = v.slice(HOST_PAGE - 7, 20);
+        assert_eq!(&w[..], &pat[HOST_PAGE - 7..HOST_PAGE + 13]);
+        // Prefix + full materialization.
+        let p = v.prepended(Bytes::from_static(b"hdr"));
+        assert_eq!(p.len(), 3 + 2 * HOST_PAGE);
+        assert_eq!(&p.slice(0, 3)[..], b"hdr");
+        assert_eq!(&p.slice(3, 10)[..], &pat[..10]);
+        assert_eq!(p.to_bytes().len(), p.len());
+        // Empty and single-byte edges.
+        assert!(v.slice(0, 0).is_empty());
+        assert_eq!(
+            &v.slice(2 * HOST_PAGE - 1, 1)[..],
+            &pat[2 * HOST_PAGE - 1..]
+        );
+        assert!(MemSlice::empty().is_empty());
+        assert_eq!(MemSlice::empty().to_bytes().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mem_slice_out_of_range_window_panics() {
+        let m = HostMemory::new(HOST_PAGE);
+        m.read_slice(0, 100).unwrap().slice(90, 11);
     }
 
     #[test]

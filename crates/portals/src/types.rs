@@ -122,6 +122,12 @@ impl UserHeader {
         &self.bytes
     }
 
+    /// The backing buffer as an O(1) reference-counted clone (the send
+    /// path prepends it to the payload without copying).
+    pub fn to_bytes(&self) -> Bytes {
+        self.bytes.clone()
+    }
+
     /// Read a u64 at byte offset `off` (panics if out of bounds — handler
     /// code parsing a malformed header is a SEGV in the model, and the
     /// runtime catches the panic and converts it, see spin-core).

@@ -40,6 +40,7 @@
 
 use crate::engine::PendingQueue;
 use crate::time::Time;
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -137,6 +138,26 @@ pub struct CalendarQueue<E> {
     small: Vec<Slot<E>>,
     /// Whether the queue currently runs in small mode.
     small_mode: bool,
+    /// Cached earliest pending time for O(1) repeated peeks: a pop makes
+    /// it `Dirty` (the minimum left), a push refreshes it in place (the
+    /// minimum can only move down), and the rebuild/graduate/collapse
+    /// reshuffles leave it alone (they never change the pending *set*).
+    /// Without it, every `peek_time` on a sparse ring re-scans empty
+    /// buckets — up to O(nbuckets) per peek in `run_until`-heavy
+    /// closed-loop drivers. Interior-mutable because peeking is `&self`.
+    min_cache: Cell<MinCache>,
+    /// How many times `peek_time` had to recompute by scanning
+    /// (introspection: tests pin that repeated peeks don't re-scan).
+    peek_scans: Cell<u64>,
+}
+
+/// State of the cached-minimum slot.
+#[derive(Debug, Clone, Copy)]
+enum MinCache {
+    /// Unknown — the next peek scans and refills the cache.
+    Dirty,
+    /// Known earliest pending time in picoseconds (`None` = empty queue).
+    Known(Option<u64>),
 }
 
 impl<E> Default for CalendarQueue<E> {
@@ -160,7 +181,15 @@ impl<E> CalendarQueue<E> {
             last_pop: 0,
             small: Vec::new(),
             small_mode: true,
+            min_cache: Cell::new(MinCache::Known(None)),
+            peek_scans: Cell::new(0),
         }
+    }
+
+    /// Times `peek_time` recomputed the minimum by scanning (tests pin
+    /// that peeks between mutations hit the cache instead).
+    pub fn peek_scans(&self) -> u64 {
+        self.peek_scans.get()
     }
 
     /// Total pending events.
@@ -405,6 +434,12 @@ impl<E> CalendarQueue<E> {
 
 impl<E> PendingQueue<E> for CalendarQueue<E> {
     fn push(&mut self, time: Time, seq: u64, event: E) {
+        // A push can only lower the minimum, so a known cache stays known.
+        if let MinCache::Known(cur) = self.min_cache.get() {
+            let t = time.ps();
+            self.min_cache
+                .set(MinCache::Known(Some(cur.map_or(t, |m| m.min(t)))));
+        }
         let s = Slot {
             time: time.ps(),
             seq,
@@ -424,12 +459,22 @@ impl<E> PendingQueue<E> for CalendarQueue<E> {
     }
 
     fn pop(&mut self) -> Option<(Time, u64, E)> {
-        self.pop_slot()
-            .map(|s| (Time::from_ps(s.time), s.seq, s.event))
+        let popped = self.pop_slot();
+        if popped.is_some() {
+            // The minimum just left; the next peek recomputes.
+            self.min_cache.set(MinCache::Dirty);
+        }
+        popped.map(|s| (Time::from_ps(s.time), s.seq, s.event))
     }
 
     fn peek_time(&self) -> Option<Time> {
-        self.peek_slot().map(|s| Time::from_ps(s.time))
+        if let MinCache::Known(t) = self.min_cache.get() {
+            return t.map(Time::from_ps);
+        }
+        let t = self.peek_slot().map(|s| s.time);
+        self.peek_scans.set(self.peek_scans.get() + 1);
+        self.min_cache.set(MinCache::Known(t));
+        t.map(Time::from_ps)
     }
 
     fn len(&self) -> usize {
@@ -591,6 +636,60 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 5001);
+    }
+
+    #[test]
+    fn repeated_peeks_hit_the_cached_minimum() {
+        let mut q = CalendarQueue::new();
+        // Grow well past small mode so peeks would otherwise scan the
+        // ring, then drain most of it so the ring is sparse — the exact
+        // shape the cached-minimum slot exists for.
+        for i in 0..2_000u64 {
+            q.push(Time::from_ps(i * 977), i + 1, i as u32);
+        }
+        for _ in 0..1_900 {
+            q.pop().unwrap();
+        }
+        let min = q.peek_time().unwrap();
+        let scans = q.peek_scans();
+        for _ in 0..1_000 {
+            assert_eq!(q.peek_time(), Some(min));
+        }
+        assert_eq!(q.peek_scans(), scans, "peek storm re-scanned the ring");
+
+        // A push of an earlier time updates the cache in place (no scan)…
+        let earlier = Time::from_ps(min.ps() - 1);
+        q.push(earlier, 100_000, 7);
+        assert_eq!(q.peek_time(), Some(earlier));
+        // …a later push leaves the minimum alone…
+        q.push(Time::from_ps(min.ps() + 500_000), 100_001, 8);
+        assert_eq!(q.peek_time(), Some(earlier));
+        assert_eq!(q.peek_scans(), scans, "pushes should not force scans");
+        // …and a pop invalidates: the next peek recomputes correctly.
+        let (t, _, _) = q.pop().unwrap();
+        assert_eq!(t, earlier);
+        assert_eq!(q.peek_time(), Some(min));
+        assert_eq!(q.peek_scans(), scans + 1, "exactly one recompute");
+    }
+
+    #[test]
+    fn cached_peek_survives_mode_transitions() {
+        // Graduate (small → ring) and collapse (ring → small) reshuffle
+        // storage but never change the pending set, so peeks stay correct
+        // across both — including the empty-queue edges.
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.peek_time(), None);
+        for i in (0..(SMALL_MAX as u64 + 20)).rev() {
+            q.push(Time::from_ps(i * 131 + 7), 1000 - i, i as u32);
+            assert_eq!(q.peek_time(), Some(Time::from_ps(i * 131 + 7)));
+        }
+        let mut last = 0;
+        while let Some((t, _, _)) = q.pop() {
+            assert!(t.ps() >= last);
+            last = t.ps();
+            assert_eq!(q.peek_time().is_none(), q.is_empty());
+        }
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * **resize-triggering storms** (hundreds of posts in one burst, then
 //!   drains — grow/shrink rebuilds mid-sequence),
 //! * **`run_until` deadlines** landing before, on, and after pending
-//!   events, with follow-up posts from inside dispatch.
+//!   events, with follow-up posts from inside dispatch,
+//! * **peek storms** (`run_until` stepped in tiny deadline increments —
+//!   the closed-loop-driver pattern the calendar's cached-minimum slot
+//!   serves; the cache must never desynchronize from the real minimum).
 //!
 //! Case count is `PROPTEST_CASES`-controlled (CI bumps it well above the
 //! local default).
@@ -78,7 +81,7 @@ fn interpret(backend: QueueBackend, ops: &[Op]) -> (Vec<TraceItem>, Vec<(Time, u
     };
     for (i, &(code, a, b)) in ops.iter().enumerate() {
         let now = engine.now();
-        match code % 8 {
+        match code % 9 {
             // Same-time burst: FIFO tie-break, all in one bucket.
             0 => {
                 for _ in 0..(a % 8 + 1) {
@@ -124,6 +127,19 @@ fn interpret(backend: QueueBackend, ops: &[Op]) -> (Vec<TraceItem>, Vec<(Time, u
                 let deadline = now + Time::from_ps(a % 200_000);
                 let end = engine.run_until(deadline, dispatch(&mut trace, i));
                 assert_eq!(end, deadline);
+            }
+            // Peek storm: a closed-loop driver pattern — dozens of
+            // `run_until` calls stepping the deadline in tiny increments.
+            // Every call peeks the earliest pending time at least once
+            // (the calendar backend's cached-minimum fast path), most
+            // without popping anything.
+            7 => {
+                let step = a % 2_000 + 1;
+                for k in 0..(b % 48 + 16) {
+                    let deadline = now + Time::from_ps(step * (k + 1));
+                    let end = engine.run_until(deadline, dispatch(&mut trace, i));
+                    assert_eq!(end, deadline);
+                }
             }
             // Deep drain: a deadline big enough to rotate through (or
             // jump over) long empty stretches.

@@ -1,0 +1,57 @@
+//! End-to-end determinism proof for the parallel sweep harness: the JSON
+//! an experiment emits must be **byte-identical** between a serial run
+//! (`SPIN_JOBS=1`) and a parallel run (`SPIN_JOBS=4` — or whatever the
+//! environment's `SPIN_JOBS` says, so the CI step can pin its own worker
+//! count). This is the property the whole conversion rests on: fanning
+//! the `(point, replication, seed)` cells across cores must be a pure
+//! performance knob, never a result knob.
+//!
+//! Everything runs inside ONE test function: the harness reads
+//! `SPIN_JOBS` from the process environment, and Rust runs tests in the
+//! same binary concurrently, so splitting the legs into separate `#[test]`s
+//! would race the variable.
+
+use spin_core::config::NicKind;
+use spin_experiments::{fig3, saturation, sweep};
+
+#[test]
+fn parallel_sweep_json_is_byte_identical_to_serial() {
+    // The parallel worker count: CI pins SPIN_JOBS=4; locally any preset
+    // value wins, defaulting to 4.
+    let parallel_jobs = std::env::var("SPIN_JOBS")
+        .ok()
+        .filter(|v| v.trim().parse::<usize>().is_ok_and(|n| n > 1))
+        .unwrap_or_else(|| "4".to_string());
+
+    // A small fig3 sweep (pingpong sizes × transports, multi-packet
+    // payloads through the CoW injection path) plus the saturation sweep
+    // (closed-loop recovery, every NIC kind, overcommitted receivers) —
+    // the two sweep families with the most machinery underneath them.
+    let emit = || {
+        let mut tables = vec![
+            fig3::pingpong_table(NicKind::Integrated, true),
+            fig3::accumulate_table(true),
+        ];
+        tables.extend(saturation::saturation_tables(true));
+        serde_json::to_string_pretty(&tables).expect("tables serialize")
+    };
+
+    std::env::set_var("SPIN_JOBS", "1");
+    assert_eq!(sweep::jobs(), 1, "serial leg must actually be serial");
+    let serial = emit();
+
+    std::env::set_var("SPIN_JOBS", &parallel_jobs);
+    assert!(sweep::jobs() > 1, "parallel leg must actually fan out");
+    let parallel = emit();
+    std::env::remove_var("SPIN_JOBS");
+
+    assert!(
+        serial == parallel,
+        "sweep output diverged between SPIN_JOBS=1 and SPIN_JOBS={parallel_jobs}:\n\
+         serial {} bytes, parallel {} bytes",
+        serial.len(),
+        parallel.len()
+    );
+    // Sanity: the comparison compared something real.
+    assert!(serial.len() > 1_000, "suspiciously small output");
+}

@@ -40,6 +40,21 @@ impl Bytes {
         Bytes::copy_from_slice(data)
     }
 
+    /// An O(1) view of `data[start..end]` sharing the given storage —
+    /// no copy. This is how page-backed memories hand out reference-counted
+    /// windows into their pages (the real crate's `from_owner` shape).
+    ///
+    /// # Panics
+    /// Panics if the range is inverted or out of bounds.
+    pub fn from_arc(data: Arc<[u8]>, start: usize, end: usize) -> Self {
+        assert!(
+            start <= end && end <= data.len(),
+            "view {start}..{end} out of range 0..{}",
+            data.len()
+        );
+        Bytes { data, start, end }
+    }
+
     /// Number of bytes in the view.
     pub fn len(&self) -> usize {
         self.end - self.start

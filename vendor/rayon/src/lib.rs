@@ -9,6 +9,18 @@
 //! experiment sweep items have similar cost, so static chunking keeps the
 //! cores busy. `filter` and `enumerate` materialize their (cheap) item
 //! lists eagerly; only the `map` stage runs in parallel.
+//!
+//! The worker count honors the `SPIN_JOBS` environment variable (a
+//! positive integer; `0`/unset/unparsable = one worker per available
+//! core), the same knob the experiment sweep harness and `--jobs` flag
+//! use, so one setting controls every parallel stage in a process.
+//!
+//! **Order guarantee:** `par_iter().map(..).collect()` yields results in
+//! input order regardless of worker count or per-item cost — chunks are
+//! contiguous input ranges, each worker returns its chunk's results in
+//! order, and the chunks are concatenated in spawn order. The sweep
+//! harness's deterministic merge depends on this; it is pinned by
+//! `collect_preserves_input_order_across_chunk_boundaries` below.
 
 use std::num::NonZeroUsize;
 
@@ -40,7 +52,29 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     }
 }
 
-/// Split `items` into per-core chunks and map them on scoped threads,
+/// Worker-thread count: `SPIN_JOBS` when set to a positive integer,
+/// otherwise one per available core. Public (the real crate exposes
+/// `current_num_threads` too) so callers that branch on "serial vs
+/// parallel" — e.g. the experiment sweep harness — share this exact
+/// policy instead of re-parsing the variable and risking drift.
+pub fn current_num_threads() -> usize {
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var("SPIN_JOBS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(auto),
+        Err(_) => auto(),
+    }
+}
+
+/// Split `items` into per-worker chunks and map them on scoped threads,
 /// returning results in input order.
 fn map_chunked<'s, I, R, C, F>(items: &'s [I], f: &F) -> C
 where
@@ -49,9 +83,7 @@ where
     C: FromIterator<R>,
     F: Fn(&'s I) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    let threads = current_num_threads();
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
@@ -185,6 +217,53 @@ mod tests {
         let xs = ["a", "b", "c"];
         let ys: Vec<(usize, &str)> = xs.par_iter().enumerate().map(|(i, &s)| (i, s)).collect();
         assert_eq!(ys, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn collect_preserves_input_order_across_chunk_boundaries() {
+        // The sweep harness's deterministic merge rests on this property:
+        // results come back in input order even when worker counts don't
+        // divide the item count and early items cost far more than late
+        // ones (so later chunks *finish* first). The per-item cost is a
+        // compute-bound spin proportional to (len - index), making
+        // completion order the reverse of input order within and across
+        // chunks — any completion-ordered collect would fail.
+        let skewed_work = |i: u64, n: u64| -> u64 {
+            let mut acc = i;
+            for _ in 0..(n - i) * 300 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            std::hint::black_box(acc);
+            i
+        };
+        let prior = std::env::var("SPIN_JOBS").ok();
+        for jobs in ["1", "2", "3", "5", "16"] {
+            std::env::set_var("SPIN_JOBS", jobs);
+            for n in [1u64, 2, 7, 64, 65, 331] {
+                let xs: Vec<u64> = (0..n).collect();
+                let ys: Vec<u64> = xs.par_iter().map(|&i| skewed_work(i, n)).collect();
+                assert_eq!(ys, xs, "order broke at jobs={jobs} n={n}");
+            }
+        }
+        // `0` and garbage fall back to auto rather than panicking.
+        std::env::set_var("SPIN_JOBS", "0");
+        let ys: Vec<u64> = (0..10u64)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&i| i)
+            .collect();
+        assert_eq!(ys, (0..10).collect::<Vec<_>>());
+        std::env::set_var("SPIN_JOBS", "lots");
+        let ys: Vec<u64> = (0..10u64)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&i| i)
+            .collect();
+        assert_eq!(ys, (0..10).collect::<Vec<_>>());
+        match prior {
+            Some(v) => std::env::set_var("SPIN_JOBS", v),
+            None => std::env::remove_var("SPIN_JOBS"),
+        }
     }
 
     #[test]
