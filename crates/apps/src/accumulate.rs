@@ -160,7 +160,7 @@ pub fn run_full(mut config: MachineConfig, mode: AccMode, bytes: usize) -> SimOu
         "accumulate operates on complex<f64> pairs"
     );
     config.host.mem_size = TMP_OFF + bytes.max(4096) * 2;
-    let server: Box<dyn HostProgram> = match mode {
+    let server: Box<dyn HostProgram + Send> = match mode {
         AccMode::Rdma => Box::new(RdmaServer { bytes }),
         AccMode::Spin => Box::new(SpinServer { bytes }),
     };

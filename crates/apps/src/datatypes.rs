@@ -182,7 +182,7 @@ pub fn run_full(mut config: MachineConfig, mode: DdtMode, dt: VectorDt) -> SimOu
     // the NIC enough execution contexts to absorb the sweep's worst case
     // instead of dropping to flow control.
     config.hpu.contexts_per_hpu = 4096;
-    let recv: Box<dyn HostProgram> = match mode {
+    let recv: Box<dyn HostProgram + Send> = match mode {
         DdtMode::Rdma => Box::new(RdmaReceiver { dt, bounce_off }),
         DdtMode::Spin => Box::new(SpinReceiver { dt }),
     };

@@ -238,7 +238,7 @@ pub fn run_full(
         t_post: Time::ZERO,
         total_ps: 0,
     };
-    let server: Box<dyn HostProgram> = match mode {
+    let server: Box<dyn HostProgram + Send> = match mode {
         PingPongMode::Rdma => Box::new(RdmaServer { bytes }),
         PingPongMode::P4 => Box::new(P4Server { bytes, rounds }),
         PingPongMode::SpinStore => Box::new(SpinServer {

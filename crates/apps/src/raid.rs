@@ -314,7 +314,7 @@ impl HostProgram for SpinParityServer {
 
 /// Build a data-server program (for external harnesses like SPC trace
 /// replay).
-pub fn data_server_program(mode: RaidMode, block_len: usize) -> Box<dyn HostProgram> {
+pub fn data_server_program(mode: RaidMode, block_len: usize) -> Box<dyn HostProgram + Send> {
     match mode {
         RaidMode::Rdma => Box::new(RdmaDataServer { block_len }),
         RaidMode::Spin => Box::new(SpinDataServer { block_len }),
@@ -322,7 +322,7 @@ pub fn data_server_program(mode: RaidMode, block_len: usize) -> Box<dyn HostProg
 }
 
 /// Build a parity-server program.
-pub fn parity_server_program(mode: RaidMode, block_len: usize) -> Box<dyn HostProgram> {
+pub fn parity_server_program(mode: RaidMode, block_len: usize) -> Box<dyn HostProgram + Send> {
     match mode {
         RaidMode::Rdma => Box::new(RdmaParityServer { block_len }),
         RaidMode::Spin => Box::new(SpinParityServer { block_len }),

@@ -276,7 +276,7 @@ pub fn run(mut config: MachineConfig, mode: SaturateMode, params: SaturateParams
         yield_on_dma: config.hpu.yield_on_dma,
     };
     config.cam_capacity = 4;
-    let receiver: Box<dyn HostProgram> = match mode {
+    let receiver: Box<dyn HostProgram + Send> = match mode {
         SaturateMode::Rdma => Box::new(RdmaReceiver {
             bytes: params.bytes,
             service: params.service,

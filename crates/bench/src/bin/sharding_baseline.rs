@@ -1,0 +1,218 @@
+//! Sharded-engine A/B baseline emitter: measures the conservative-parallel
+//! sharded engine against the serial reference engine on the large-world
+//! incast scenario and emits the `BENCH_sharding.json` document.
+//!
+//! ```text
+//! sharding_baseline [--json] [--out PATH] [--rounds N] [--quick] [--shards K]
+//! ```
+//!
+//! Methodology (the interleaved pairing of `BENCH_eventqueue.json` and
+//! `BENCH_sweep.json`): both legs live in this one binary — leg A is
+//! `SimBuilder::run_serial`, leg B is `run_with_shards(k)` on the identical
+//! builder — so each round times A and B back to back, alternating which
+//! goes first per round, and the reported cell is the median across
+//! rounds. Interleaving cancels the clock drift a single-vCPU machine
+//! shows across standalone runs.
+//!
+//! Every round also asserts the two legs produce identical report digests:
+//! the A/B doubles as a live serial-vs-sharded determinism check on a
+//! world far larger than the pinned goldens (the sharded engine's merge
+//! step promises byte-identical observables at any shard count, see
+//! `tests/shard_equivalence.rs`).
+
+use spin_experiments::sharding;
+use std::time::Instant;
+
+struct Measured {
+    name: String,
+    a_label: &'static str,
+    b_label: &'static str,
+    a_median_ns: u64,
+    b_median_ns: u64,
+    check: u64,
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Interleaved paired rounds of two closures that must agree on a digest.
+fn measure_pair(
+    name: &str,
+    a_label: &'static str,
+    b_label: &'static str,
+    rounds: u32,
+    a: impl Fn() -> u64,
+    b: impl Fn() -> u64,
+) -> Measured {
+    // Warm both legs (and check agreement once before timing).
+    let wa = std::hint::black_box(a());
+    let wb = std::hint::black_box(b());
+    assert_eq!(wa, wb, "{name}: legs disagreed on the digest");
+    let mut a_samples = Vec::new();
+    let mut b_samples = Vec::new();
+    let mut check = 0;
+    for round in 0..rounds {
+        let time_one = |f: &dyn Fn() -> u64| {
+            let t0 = Instant::now();
+            let c = std::hint::black_box(f());
+            (t0.elapsed().as_nanos() as u64, c)
+        };
+        let ((a_ns, ca), (b_ns, cb)) = if round % 2 == 0 {
+            let ra = time_one(&a);
+            let rb = time_one(&b);
+            (ra, rb)
+        } else {
+            let rb = time_one(&b);
+            let ra = time_one(&a);
+            (ra, rb)
+        };
+        assert_eq!(ca, cb, "{name}: digest diverged in round {round}");
+        a_samples.push(a_ns);
+        b_samples.push(b_ns);
+        check = ca;
+    }
+    Measured {
+        name: name.to_string(),
+        a_label,
+        b_label,
+        a_median_ns: median(a_samples),
+        b_median_ns: median(b_samples),
+        check,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut rounds: u32 = 7;
+    let mut quick = false;
+    let mut shards_flag: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).expect("--out needs a path").clone());
+            }
+            "--rounds" => {
+                i += 1;
+                rounds = args.get(i).expect("--rounds needs N").parse().expect("N");
+                assert!(rounds > 0, "--rounds must be at least 1");
+            }
+            "--quick" => quick = true,
+            "--shards" => {
+                i += 1;
+                let k: usize = args.get(i).expect("--shards needs K").parse().expect("K");
+                assert!(k >= 2, "--shards must be at least 2");
+                shards_flag = Some(k);
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if quick {
+        rounds = rounds.min(3);
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // The sharded leg always partitions into at least 4 shards so the
+    // coordinator machinery (window loop, mailbox merge, ledger replay)
+    // is exercised even when the box is small; wall-clock gains obviously
+    // need the cores to be real.
+    let par_shards = shards_flag.unwrap_or_else(|| cores.max(4));
+
+    let (n, msg_rounds) = sharding::scale(quick);
+    let cells: Vec<Measured> = [par_shards, 2]
+        .iter()
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .map(|k| {
+            measure_pair(
+                &format!(
+                    "incast_n{n}_r{msg_rounds}_{}shards_{}",
+                    k,
+                    if quick { "quick" } else { "full" }
+                ),
+                "serial",
+                "sharded",
+                rounds,
+                move || sharding::digest(&sharding::incast_report(n, msg_rounds, 1)),
+                move || sharding::digest(&sharding::incast_report(n, msg_rounds, k)),
+            )
+        })
+        .collect();
+
+    if json || out_path.is_some() {
+        let mut doc = String::from("{\n");
+        doc.push_str(&format!(
+            "  \"harness\": \"spin-bench sharding_baseline v1 (rounds={rounds}, median ns/iter)\",\n"
+        ));
+        doc.push_str(
+            "  \"methodology\": \"Paired A/B on one machine, both legs in one binary: per round each cell runs leg A then leg B back to back, alternating order, interleaved for all rounds; each cell is the median across rounds (the BENCH_eventqueue.json methodology). Leg A runs the incast scenario on the serial reference engine (run_serial), leg B runs the identical builder on the sharded conservative-parallel engine (run_with_shards); every round asserts the two full-report digests are identical, so the A/B doubles as a large-world determinism check. Reproduce with: cargo run --release -p spin-bench --bin sharding_baseline -- --json\",\n",
+        );
+        doc.push_str(&format!(
+            "  \"environment\": {{ \"cores\": {cores}, \"parallel_shards\": {par_shards}, \"scenario_nodes\": {n}, \"scenario_rounds\": {msg_rounds} }},\n"
+        ));
+        doc.push_str(
+            "  \"change\": \"sharded conservative-parallel engine (crates/core/src/shard.rs: the world is partitioned into contiguous per-shard replicas with their own event queues; the minimum incident link latency is the conservative lookahead; each window executes shards in parallel over the vendored rayon, then a coordinator merges every record in global (time, seq) order and replays cross-shard wire posts through the ingress ledger, reconstructing the serial engine's exact dispatch order)\",\n",
+        );
+        doc.push_str("  \"incast_ab\": [\n");
+        for (i, m) in cells.iter().enumerate() {
+            let gain = if m.b_median_ns == 0 {
+                0.0
+            } else {
+                m.a_median_ns as f64 / m.b_median_ns as f64
+            };
+            doc.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"{}_median_ns\": {}, \"{}_median_ns\": {}, \"speedup_x\": {:.2}, \"check\": {} }}{}\n",
+                m.name,
+                m.a_label,
+                m.a_median_ns,
+                m.b_label,
+                m.b_median_ns,
+                gain,
+                m.check,
+                if i + 1 == cells.len() { "" } else { "," }
+            ));
+        }
+        doc.push_str("  ],\n");
+        doc.push_str(
+            "  \"note\": \"wall-clock gain scales with real cores and with how much of the event volume is shard-local: on a 1-vCPU box the sharded leg timeshares its workers and additionally pays the window-merge overhead, so the speedup can read below 1.0x — the determinism assertion (identical digests every round) is the machine-independent result there, and tests/shard_equivalence.rs plus the CI SPIN_SHARDS=4 golden step enforce it independently. The conservative window is bounded by the minimum link latency, so low-latency fabrics shrink the parallel grain.\",\n",
+        );
+        doc.push_str(
+            "  \"equivalence\": \"every round asserts leg digests are equal (FNV over end time, event count, every mark and value, per-node stats, fabric counters); tests/shard_equivalence.rs proves randomized traffic and same-instant tie storms byte-identical at 2/3/8/12 shards, and all five determinism goldens pass unchanged under SPIN_SHARDS=4\"\n",
+        );
+        doc.push_str("}\n");
+        if let Some(path) = &out_path {
+            std::fs::write(path, &doc).expect("write baseline json");
+            eprintln!("wrote {path}");
+        }
+        if json {
+            print!("{doc}");
+        }
+    } else {
+        println!(
+            "{:<44} {:>14} {:>14} {:>9}",
+            "bench", "A_ns", "B_ns", "speedup"
+        );
+        for m in &cells {
+            println!(
+                "{:<44} {:>14} {:>14} {:>8.2}x",
+                format!("{} ({}/{})", m.name, m.a_label, m.b_label),
+                m.a_median_ns,
+                m.b_median_ns,
+                m.a_median_ns as f64 / m.b_median_ns.max(1) as f64
+            );
+        }
+    }
+}

@@ -33,8 +33,9 @@ pub struct Host {
     pub mem_bw: BandwidthChannel,
     /// OS noise source for this node's cores.
     pub noise: NoiseSource,
-    /// The application process (taken out during callbacks).
-    pub program: Option<Box<dyn HostProgram>>,
+    /// The application process (taken out during callbacks). `Send` so a
+    /// whole node can move to a shard worker thread.
+    pub program: Option<Box<dyn HostProgram + Send>>,
     /// Set when the program called [`HostApi::stop`].
     pub stopped: bool,
 }
@@ -404,6 +405,9 @@ impl<'a> HostApi<'a> {
             hpu_memory: spec.hpu_mem,
             handler_mem: spec.handler_region,
             user_ptr: spec.user_ptr,
+            // The append is NIC-visible only once the charged call
+            // completes: a header matched before the cursor must miss it.
+            active_at: self.cursor.ps(),
         };
         node.nic
             .ni
@@ -494,7 +498,9 @@ impl<'a> HostApi<'a> {
     pub fn pt_enable(&mut self, pt: u32) {
         self.charge_o("pt_enable");
         let node = &mut self.world.nodes[self.node as usize];
-        node.nic.ni.pt_enable(pt);
+        // Effective only once the charged call completes — headers racing
+        // the re-enable still bounce (and are NACKed under recovery).
+        node.nic.ni.pt_enable_at(pt, self.cursor.ps());
         if let Some(disabled_at) = node.nic.recovery.drain_resolved(pt) {
             node.nic.stats.pt_reenables += 1;
             node.nic.stats.pt_disabled_ns += self.cursor.saturating_sub(disabled_at).ns();
@@ -513,8 +519,13 @@ impl<'a> HostApi<'a> {
         let node = &mut self.world.nodes[self.node as usize];
         let (start, end) = node.host.mem_bw.reserve(self.cursor, 2 * len);
         node.host.cores.reserve(self.cursor, end - self.cursor);
-        let data = node.mem.read(src, len).expect("memcpy source").to_vec();
-        node.mem.write(dst, &data).expect("memcpy destination");
+        // Snapshot then scatter through page views: page-aligned spans
+        // move by refcount instead of byte copies (the timing charge above
+        // is unchanged — this only cuts simulator-host work).
+        let data = node.mem.read_slice(src, len).expect("memcpy source");
+        node.mem
+            .write_slice(dst, &data)
+            .expect("memcpy destination");
         self.world
             .gantt
             .record(self.node, "MEM", start, end, 'm', || "memcpy");

@@ -32,6 +32,7 @@ pub mod recovery;
 mod recv;
 mod runtime;
 mod send;
+mod shard;
 pub mod world;
 
 pub use config::{HostParams, MachineConfig, NicKind, RecoveryConfig};

@@ -206,6 +206,8 @@ pub struct Nic {
     pub recovery: RecoveryManager,
     /// Counters.
     pub stats: NicStats,
+    /// Per-NIC message-id counter (see [`Nic::next_msg_id`]).
+    msg_seq: u64,
 }
 
 impl Nic {
@@ -227,7 +229,21 @@ impl Nic {
             deferred: HashMap::new(),
             recovery: RecoveryManager::new(config.recovery),
             stats: NicStats::default(),
+            msg_seq: 0,
         }
+    }
+
+    /// The next message id originating at this NIC (rank `n`): the rank in
+    /// the high bits, a per-NIC counter (from 1, so id 0 stays the
+    /// "unassigned" sentinel) in the low 40. Ids are globally unique and
+    /// monotonic per sender — the ordering the recovery retransmit queue
+    /// relies on — without any cross-node shared counter, so nodes on
+    /// different shards of the parallel engine can mint ids independently
+    /// and still agree with the serial schedule.
+    pub fn next_msg_id(&mut self, n: u32) -> u64 {
+        self.msg_seq += 1;
+        debug_assert!(self.msg_seq < 1 << 40, "per-NIC message ids exhausted");
+        ((n as u64) << 40) | self.msg_seq
     }
 
     /// Register a handler set, returning its reference id.

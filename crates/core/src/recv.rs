@@ -95,6 +95,7 @@ impl World {
             hdr.source_id,
             hdr.length,
             hdr.offset,
+            match_done.ps(),
         );
         match disposition {
             HeaderDisposition::Matched(outcome) => {
@@ -254,6 +255,7 @@ impl World {
                 hdr.source_id,
                 hdr.length,
                 hdr.offset,
+                match_done.ps(),
             );
             let outcome = match disposition {
                 HeaderDisposition::Matched(o) => o,
@@ -439,7 +441,7 @@ impl World {
                 if !pkt.payload.is_empty() {
                     let timing = ctx.dma.write(t, pkt.payload.len());
                     ctx.mem
-                        .write(ch.reply_dest + pkt.offset, &pkt.payload)
+                        .write_bytes(ch.reply_dest + pkt.offset, &pkt.payload)
                         .expect("reply deposit");
                     ctx.gantt
                         .record(n, "DMA", timing.channel_start, timing.complete, 'w', || {
@@ -455,7 +457,10 @@ impl World {
                     let len = pkt.payload.len().min(ch.mlength - msg_off);
                     let timing = ctx.dma.write(t, len);
                     ctx.mem
-                        .write(ch.me_start + ch.dest_offset + msg_off, &pkt.payload[..len])
+                        .write_bytes(
+                            ch.me_start + ch.dest_offset + msg_off,
+                            &pkt.payload.slice(..len),
+                        )
                         .expect("rdma deposit");
                     ctx.gantt
                         .record(n, "DMA", timing.channel_start, timing.complete, 'w', || {

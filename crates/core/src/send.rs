@@ -26,7 +26,7 @@ impl World {
     /// A message enters node `n`'s NIC send path.
     pub(crate) fn inject(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, mut msg: OutMsg) {
         if msg.msg_id == 0 {
-            msg.msg_id = self.next_msg_id();
+            msg.msg_id = self.nodes[n as usize].nic.next_msg_id(n);
         }
         // §3.2 recovery: register recoverable messages with the retransmit
         // machinery; while the (dst, pt) pair is recovering, new sends are
@@ -110,11 +110,6 @@ impl World {
         let mut off = 0usize;
         for i in 0..total {
             let size = params.packet_size(wire_len, i as usize);
-            let timing = self.network.send_packet(ready, msg.src, msg.dst, size);
-            self.gantt
-                .record(n, "NIC", timing.tx_start, timing.tx_end, '=', || {
-                    format!("tx m{} p{}", msg.msg_id, i)
-                });
             let pkt = Packet {
                 msg_id: msg.msg_id,
                 index: i,
@@ -124,7 +119,30 @@ impl World {
                 payload: full.slice(off, size),
                 header: Arc::clone(&header),
             };
-            q.post_at(timing.arrival, Ev::PacketArrive(msg.dst, Box::new(pkt)));
+            if self.deferred_wire {
+                // Sharded engine: only the egress half runs here (it is
+                // `src`-local); the ingress reservation belongs to the
+                // coordinator's ledger network, which replays it in global
+                // order when this WireSend is merged. The event time is
+                // when the packet head reaches the destination port.
+                assert!(
+                    msg.src != msg.dst,
+                    "loopback sends are not supported by the sharded engine"
+                );
+                let (tx_start, tx_end) = self.network.egress_phase(ready, msg.src, size);
+                self.gantt.record(n, "NIC", tx_start, tx_end, '=', || {
+                    format!("tx m{} p{}", msg.msg_id, i)
+                });
+                let head_at_dst = tx_start + self.network.base_latency(msg.src, msg.dst);
+                q.post_at(head_at_dst, Ev::WireSend(msg.dst, Box::new(pkt)));
+            } else {
+                let timing = self.network.send_packet(ready, msg.src, msg.dst, size);
+                self.gantt
+                    .record(n, "NIC", timing.tx_start, timing.tx_end, '=', || {
+                        format!("tx m{} p{}", msg.msg_id, i)
+                    });
+                q.post_at(timing.arrival, Ev::PacketArrive(msg.dst, Box::new(pkt)));
+            }
             off += size;
         }
     }

@@ -70,6 +70,13 @@ pub enum Ev {
     /// Receiver-side drain poll for `(node, pt)`: re-enable the portal
     /// table entry once its channels, HPU contexts, and MEs have drained.
     DrainCheck(u32, u32),
+    /// Sharded engine only: a packet left a shard-local egress link and is
+    /// bound for `dst`'s ingress port, with the head of the packet at that
+    /// port at the event's timestamp. Never dispatched — the shard
+    /// coordinator intercepts it, replays the ingress reservation on the
+    /// ledger network in global order, and re-posts the resulting
+    /// [`Ev::PacketArrive`] into `dst`'s shard.
+    WireSend(u32, Box<Packet>),
 }
 
 /// The complete machine state.
@@ -84,7 +91,10 @@ pub struct World {
     pub gantt: Gantt,
     pub(crate) marks: Vec<(u32, String, Time)>,
     pub(crate) values: Vec<(u32, String, f64)>,
-    pub(crate) msg_seq: u64,
+    /// Sharded engine only: when set, `inject` stops at the egress phase
+    /// and posts [`Ev::WireSend`] instead of reserving the destination
+    /// ingress link itself (which belongs to the coordinator's ledger).
+    pub(crate) deferred_wire: bool,
 }
 
 impl World {
@@ -115,13 +125,8 @@ impl World {
             nodes,
             marks: Vec::new(),
             values: Vec::new(),
-            msg_seq: 0,
+            deferred_wire: false,
         }
-    }
-
-    pub(crate) fn next_msg_id(&mut self) -> u64 {
-        self.msg_seq += 1;
-        self.msg_seq
     }
 
     /// Split-borrow node `n` for the packet path: the channel CAM, the
@@ -195,6 +200,9 @@ impl World {
             }
             Ev::RecoveryTimer(n, peer, pt) => self.on_recovery_timer(q, now, n, peer, pt),
             Ev::DrainCheck(n, pt) => self.on_drain_check(q, now, n, pt),
+            Ev::WireSend(..) => {
+                unreachable!("WireSend is consumed by the shard coordinator, never dispatched")
+            }
         }
     }
 
@@ -307,6 +315,43 @@ pub struct Report {
     pub net_bytes: u64,
 }
 
+impl NodeStats {
+    /// Snapshot the reportable statistics of one node's final state. Both
+    /// engines build their reports through this, so the serial and sharded
+    /// paths cannot drift apart field-by-field.
+    pub(crate) fn of(node: &Node) -> NodeStats {
+        NodeStats {
+            dma_bytes: node.nic.dma.bytes_total(),
+            dma_reads: node.nic.dma.reads(),
+            dma_writes: node.nic.dma.writes(),
+            host_mem_bytes: node.host.mem_bw.bytes_total(),
+            hpu_admitted: node.nic.pool.admitted(),
+            hpu_rejected: node.nic.pool.rejected(),
+            hpu_busy_ns: node.nic.pool.busy_total().ns(),
+            flow_control_events: node.nic.stats.flow_control_events,
+            packets_dropped: node.nic.stats.packets_dropped,
+            handler_runs: (
+                node.nic.stats.header_runs,
+                node.nic.stats.payload_runs,
+                node.nic.stats.completion_runs,
+            ),
+            handler_errors: node.nic.stats.handler_errors,
+            forced_completion_admissions: node.nic.stats.forced_completion_admissions,
+            nacks_sent: node.nic.stats.nacks_sent,
+            recovery_nacks: node.nic.stats.recovery_nacks,
+            recovery_backoffs: node.nic.stats.recovery_backoffs,
+            recovery_probes: node.nic.stats.recovery_probes,
+            recovery_retransmits: node.nic.stats.recovery_retransmits,
+            recovery_held: node.nic.stats.recovery_held,
+            recovery_abandoned: node.nic.stats.recovery_abandoned,
+            pt_reenables: node.nic.stats.pt_reenables,
+            pt_disabled_ns: node.nic.stats.pt_disabled_ns,
+            recovered_messages: node.nic.recovery.recovered_messages(),
+            recovery_latency_ns: node.nic.recovery.recovery_latency_ns(),
+        }
+    }
+}
+
 impl Report {
     /// The first mark with this label on this rank.
     pub fn mark(&self, rank: u32, label: &str) -> Option<Time> {
@@ -341,8 +386,8 @@ impl Report {
 
 /// Builder assembling a simulation: configuration + one program per node.
 pub struct SimBuilder {
-    config: MachineConfig,
-    programs: Vec<Box<dyn HostProgram>>,
+    pub(crate) config: MachineConfig,
+    pub(crate) programs: Vec<Box<dyn HostProgram + Send>>,
 }
 
 /// A completed simulation: the report plus the final world state (for
@@ -364,13 +409,13 @@ impl SimBuilder {
     }
 
     /// Add one node running `program`.
-    pub fn add_node(mut self, program: Box<dyn HostProgram>) -> Self {
+    pub fn add_node(mut self, program: Box<dyn HostProgram + Send>) -> Self {
         self.programs.push(program);
         self
     }
 
     /// Add `n` nodes whose programs are built per rank.
-    pub fn nodes_with(mut self, n: u32, f: impl Fn(u32) -> Box<dyn HostProgram>) -> Self {
+    pub fn nodes_with(mut self, n: u32, f: impl Fn(u32) -> Box<dyn HostProgram + Send>) -> Self {
         let base = self.programs.len() as u32;
         for i in 0..n {
             self.programs.push(f(base + i));
@@ -379,7 +424,31 @@ impl SimBuilder {
     }
 
     /// Run the simulation to quiescence.
+    ///
+    /// `SPIN_SHARDS=k` (k ≥ 2) selects the sharded conservative-parallel
+    /// engine; unset, `0`, or `1` runs the serial reference engine. Both
+    /// produce bit-identical output by construction (see `crate::shard`).
     pub fn run(self) -> SimOutput {
+        let shards = std::env::var("SPIN_SHARDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(1);
+        if shards > 1 {
+            self.run_with_shards(shards)
+        } else {
+            self.run_serial()
+        }
+    }
+
+    /// Run on the sharded conservative-parallel engine with `k` shards
+    /// (clamped to the node count; `k ≤ 1` falls back to the serial
+    /// reference engine).
+    pub fn run_with_shards(self, k: usize) -> SimOutput {
+        crate::shard::run_sharded(self, k)
+    }
+
+    /// Run on the serial reference engine.
+    pub fn run_serial(self) -> SimOutput {
         let n = self.programs.len() as u32;
         assert!(n > 0, "a simulation needs at least one node");
         let mut world = World::new(self.config, n);
@@ -391,45 +460,12 @@ impl SimBuilder {
             engine.queue_mut().post_at(Time::ZERO, Ev::Start(i));
         }
         let end = engine.run_with(|q, now, ev| world.dispatch(q, now, ev));
-        let node_stats = world
-            .nodes
-            .iter()
-            .map(|node| NodeStats {
-                dma_bytes: node.nic.dma.bytes_total(),
-                dma_reads: node.nic.dma.reads(),
-                dma_writes: node.nic.dma.writes(),
-                host_mem_bytes: node.host.mem_bw.bytes_total(),
-                hpu_admitted: node.nic.pool.admitted(),
-                hpu_rejected: node.nic.pool.rejected(),
-                hpu_busy_ns: node.nic.pool.busy_total().ns(),
-                flow_control_events: node.nic.stats.flow_control_events,
-                packets_dropped: node.nic.stats.packets_dropped,
-                handler_runs: (
-                    node.nic.stats.header_runs,
-                    node.nic.stats.payload_runs,
-                    node.nic.stats.completion_runs,
-                ),
-                handler_errors: node.nic.stats.handler_errors,
-                forced_completion_admissions: node.nic.stats.forced_completion_admissions,
-                nacks_sent: node.nic.stats.nacks_sent,
-                recovery_nacks: node.nic.stats.recovery_nacks,
-                recovery_backoffs: node.nic.stats.recovery_backoffs,
-                recovery_probes: node.nic.stats.recovery_probes,
-                recovery_retransmits: node.nic.stats.recovery_retransmits,
-                recovery_held: node.nic.stats.recovery_held,
-                recovery_abandoned: node.nic.stats.recovery_abandoned,
-                pt_reenables: node.nic.stats.pt_reenables,
-                pt_disabled_ns: node.nic.stats.pt_disabled_ns,
-                recovered_messages: node.nic.recovery.recovered_messages(),
-                recovery_latency_ns: node.nic.recovery.recovery_latency_ns(),
-            })
-            .collect();
         let report = Report {
             end_time: end,
             events_executed: engine.executed(),
             marks: std::mem::take(&mut world.marks),
             values: std::mem::take(&mut world.values),
-            node_stats,
+            node_stats: world.nodes.iter().map(NodeStats::of).collect(),
             net_packets: world.network.packets_sent(),
             net_bytes: world.network.bytes_sent(),
         };

@@ -1,0 +1,139 @@
+//! Regression tests for host-action timing: `PtlMEAppend` and
+//! `PtlPTEnable` charge host-core time (`charge_o`), and their NIC-visible
+//! effects must apply at the *charged completion time*, not instantly at
+//! call time. The seed applied them instantly, so a wire header could
+//! match an ME whose append had not yet finished — a causality leak from
+//! the host's future into the NIC's present.
+
+use spin_core::config::MachineConfig;
+use spin_core::host::{HostApi, HostProgram, MeSpec, PutArgs};
+use spin_core::world::SimBuilder;
+use spin_portals::eq::{EventKind, FullEvent};
+use spin_sim::time::Time;
+
+struct EagerSender {
+    bytes: usize,
+}
+impl HostProgram for EagerSender {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        let pattern: Vec<u8> = (0..self.bytes).map(|i| (i % 251) as u8).collect();
+        api.write_host(0, &pattern);
+        api.put(PutArgs::from_host(1, 0, 42, 0, self.bytes));
+    }
+}
+
+/// Spends `busy` of CPU time before posting its receive ME, so the append
+/// completes long after the racing Put's header has been matched.
+struct LateReceiver {
+    busy: Time,
+    bytes: usize,
+}
+impl HostProgram for LateReceiver {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        if self.busy > Time::ZERO {
+            api.compute(self.busy);
+        }
+        api.me_append(MeSpec::recv(0, 42, (4096, self.bytes)));
+    }
+    fn on_event(&mut self, ev: &FullEvent, api: &mut HostApi<'_>) {
+        match ev.kind {
+            EventKind::Put => api.mark("received"),
+            EventKind::PtDisabled => api.mark("missed"),
+            _ => {}
+        }
+    }
+}
+
+/// A Put whose header arrives while the receiver is still inside the
+/// `PtlMEAppend` call must MISS the entry: flow control fires instead of
+/// a delivery, and no byte lands in the ME region.
+#[test]
+fn put_racing_a_just_appended_me_misses_it() {
+    let bytes = 4096;
+    let out = SimBuilder::new(MachineConfig::integrated())
+        .add_node(Box::new(EagerSender { bytes }))
+        .add_node(Box::new(LateReceiver {
+            // The append starts after 5 us of compute; the Put's header
+            // arrives after ~200 ns and must find nothing.
+            busy: Time::from_us(5),
+            bytes,
+        }))
+        .run();
+    out.report.mark(1, "missed").expect("flow control fired");
+    assert!(out.report.mark(1, "received").is_none(), "put must miss");
+    assert_eq!(out.report.node_stats[1].flow_control_events, 1);
+    // Nothing was deposited into the (not-yet-active) ME region.
+    let got = out.world.nodes[1].mem.read(4096, bytes).unwrap();
+    assert!(got.iter().all(|&b| b == 0));
+}
+
+/// Control: when the append completes before the header arrives (the
+/// normal case), the Put still lands — the deferral must not over-shoot.
+#[test]
+fn put_after_append_completion_still_lands() {
+    let bytes = 4096;
+    let out = SimBuilder::new(MachineConfig::integrated())
+        .add_node(Box::new(EagerSender { bytes }))
+        .add_node(Box::new(LateReceiver {
+            busy: Time::ZERO,
+            bytes,
+        }))
+        .run();
+    out.report.mark(1, "received").expect("put delivered");
+    assert!(out.report.mark(1, "missed").is_none());
+    let got = out.world.nodes[1].mem.read(4096, bytes).unwrap();
+    assert!(got.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+}
+
+struct TwoPutSender;
+impl HostProgram for TwoPutSender {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        api.write_host(0, &[7u8; 64]);
+        // First Put trips flow control (no ME at the target); the second
+        // races the receiver's charged PtlPTEnable call.
+        api.put(PutArgs::inline(1, 0, 9, vec![1, 2, 3]));
+    }
+    fn on_event(&mut self, _ev: &FullEvent, _api: &mut HostApi<'_>) {}
+}
+
+/// Re-enables the PT inside the PtDisabled callback after a long compute,
+/// recording when the charged call completed.
+struct SlowReenabler;
+impl HostProgram for SlowReenabler {
+    fn on_start(&mut self, _api: &mut HostApi<'_>) {}
+    fn on_event(&mut self, ev: &FullEvent, api: &mut HostApi<'_>) {
+        if ev.kind == EventKind::PtDisabled {
+            api.me_append(MeSpec::recv(0, 9, (0, 4096)));
+            api.pt_enable(0);
+            api.mark("reenabled_at");
+        }
+    }
+}
+
+/// The `enabled_at` gate: after `pt_enable`, the NI reports the entry
+/// enabled, but a header timed before the charged completion still sees
+/// it disabled (checked directly at the NI to keep the test independent
+/// of wire-timing coincidences).
+#[test]
+fn pt_enable_takes_effect_at_charged_completion() {
+    let out = SimBuilder::new(MachineConfig::integrated())
+        .add_node(Box::new(TwoPutSender))
+        .add_node(Box::new(SlowReenabler))
+        .run();
+    let reenabled = out.report.mark(1, "reenabled_at").expect("pt_enable ran");
+    let ni = &out.world.nodes[1].nic.ni;
+    assert!(ni.pt_enabled(0));
+    // A header matched one tick before the charged completion bounces;
+    // at the completion instant it matches.
+    let mut ni = ni.clone();
+    let before = ni.deliver_header(0, 9, 0, 3, 0, reenabled.ps() - 1);
+    assert!(matches!(
+        before,
+        spin_portals::ni::HeaderDisposition::Dropped
+    ));
+    let after = ni.deliver_header(0, 9, 0, 3, 0, reenabled.ps());
+    assert!(matches!(
+        after,
+        spin_portals::ni::HeaderDisposition::Matched(_)
+    ));
+}

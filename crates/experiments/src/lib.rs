@@ -16,6 +16,7 @@
 //! | [`spc`]     | §5.3 SPC trace replay |
 //! | [`ablation`]| HPU count / yield-on-DMA / handler-cost ablations |
 //! | [`saturation`] | closed-loop overload: goodput + recovery latency (beyond the paper) |
+//! | [`sharding`] | large-world incast scenario driving the sharded parallel engine (beyond the paper) |
 
 use spin_sim::stats::Table;
 
@@ -26,6 +27,7 @@ pub mod fig5;
 pub mod fig5b;
 pub mod fig7;
 pub mod saturation;
+pub mod sharding;
 pub mod spc;
 pub mod sweep;
 pub mod table5;

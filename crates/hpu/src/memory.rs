@@ -435,6 +435,36 @@ impl HostMemory {
         Ok(())
     }
 
+    /// Write reference-counted bytes, adopting the backing storage when
+    /// possible: a page-aligned, page-sized `Bytes` whose view covers its
+    /// whole backing replaces the destination page by refcount bump — the
+    /// receive dual of [`HostMemory::read_bytes`]. Anything else falls
+    /// back to the byte-copy of [`HostMemory::write`]. Functionally
+    /// identical to `write(offset, &bytes)` either way.
+    pub fn write_bytes(&mut self, offset: usize, bytes: &Bytes) -> Result<(), Segv> {
+        self.bounds(offset, bytes.len())?;
+        if offset.is_multiple_of(HOST_PAGE) && bytes.len() == HOST_PAGE {
+            if let Some(backing) = bytes.full_backing() {
+                self.pages[offset / HOST_PAGE] = backing;
+                return Ok(());
+            }
+        }
+        self.write(offset, bytes)
+    }
+
+    /// Scatter a [`MemSlice`] at `offset`: each whole-page segment that is
+    /// still a clean page view is adopted O(1) via
+    /// [`HostMemory::write_bytes`]; partial segments copy. This is the
+    /// receive-deposit path: a multi-MB reply assembled from page views of
+    /// the sender's memory lands by moving page references, not bytes.
+    pub fn write_slice(&mut self, offset: usize, slice: &MemSlice) -> Result<(), Segv> {
+        self.bounds(offset, slice.len())?;
+        for (seg, start) in slice.segs.iter().zip(&slice.starts) {
+            self.write_bytes(offset + start, seg)?;
+        }
+        Ok(())
+    }
+
     typed_accessors!(
         get_u64 / put_u64: u64,
         get_u32 / put_u32: u32,
@@ -656,6 +686,75 @@ mod tests {
     fn mem_slice_out_of_range_window_panics() {
         let m = HostMemory::new(HOST_PAGE);
         m.read_slice(0, 100).unwrap().slice(90, 11);
+    }
+
+    #[test]
+    fn write_bytes_adopts_whole_pages() {
+        let mut src = HostMemory::new(2 * HOST_PAGE);
+        let pat: Vec<u8> = (0..2 * HOST_PAGE).map(|i| (i % 239) as u8).collect();
+        src.write(0, &pat).unwrap();
+        let mut dst = HostMemory::new(2 * HOST_PAGE);
+
+        // A page-aligned, page-sized view of a whole page: adopted O(1),
+        // no CoW clone charged to the destination.
+        let page = src.read_bytes(0, HOST_PAGE).unwrap();
+        dst.write_bytes(0, &page).unwrap();
+        assert_eq!(dst.cow_clones(), 0, "adoption copies nothing");
+        assert_eq!(&dst.read(0, HOST_PAGE).unwrap()[..], &pat[..HOST_PAGE]);
+
+        // The adopted page is shared with the source: writing it in either
+        // memory clones first, so neither side sees the other's mutation.
+        dst.write(10, &[0xEE; 4]).unwrap();
+        assert_eq!(dst.cow_clones(), 1);
+        assert_eq!(&src.read(10, 4).unwrap()[..], &pat[10..14]);
+
+        // Misaligned or partial views fall back to the byte copy.
+        let partial = src.read_bytes(0, 100).unwrap();
+        dst.write_bytes(HOST_PAGE, &partial).unwrap();
+        assert_eq!(&dst.read(HOST_PAGE, 100).unwrap()[..], &pat[..100]);
+        let misaligned = src.read_bytes(HOST_PAGE, HOST_PAGE).unwrap();
+        dst.write_bytes(7, &misaligned).unwrap();
+        assert_eq!(
+            &dst.read(7, HOST_PAGE).unwrap()[..],
+            &pat[HOST_PAGE..2 * HOST_PAGE]
+        );
+        // Bounds still enforced.
+        assert!(dst.write_bytes(2 * HOST_PAGE, &page).is_err());
+    }
+
+    #[test]
+    fn write_slice_scatters_page_views() {
+        let mut src = HostMemory::new(4 * HOST_PAGE);
+        let pat: Vec<u8> = (0..3 * HOST_PAGE + 500).map(|i| (i % 233) as u8).collect();
+        src.write(0, &pat).unwrap();
+
+        // Aligned multi-page transfer: every whole-page segment adopts.
+        let view = src.read_slice(0, 3 * HOST_PAGE).unwrap();
+        let mut dst = HostMemory::new(4 * HOST_PAGE);
+        dst.write_slice(0, &view).unwrap();
+        assert_eq!(dst.cow_clones(), 0, "aligned scatter copies nothing");
+        assert_eq!(
+            &dst.read(0, 3 * HOST_PAGE).unwrap()[..],
+            &pat[..3 * HOST_PAGE]
+        );
+
+        // Unaligned source/destination: falls back to copying, same bytes
+        // as the flat write.
+        let view = src.read_slice(123, 2 * HOST_PAGE + 77).unwrap();
+        let mut a = HostMemory::new(4 * HOST_PAGE);
+        let mut b = HostMemory::new(4 * HOST_PAGE);
+        a.write_slice(456, &view).unwrap();
+        b.write(456, &view.to_vec()).unwrap();
+        assert_eq!(
+            &a.read(0, 4 * HOST_PAGE).unwrap()[..],
+            &b.read(0, 4 * HOST_PAGE).unwrap()[..]
+        );
+        // The snapshot survives a later source write even when adopted.
+        let view = src.read_slice(0, HOST_PAGE).unwrap();
+        let mut c = HostMemory::new(HOST_PAGE);
+        c.write_slice(0, &view).unwrap();
+        src.write(0, &[0x11; 16]).unwrap();
+        assert_eq!(&c.read(0, 16).unwrap()[..], &pat[..16]);
     }
 
     #[test]

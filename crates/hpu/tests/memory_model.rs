@@ -8,7 +8,11 @@
 //!   many writes/fills land on the region afterwards;
 //! * **clones**: a cloned memory and its original must diverge
 //!   independently, each tracking its own copy of the model from the
-//!   moment of the clone.
+//!   moment of the clone;
+//! * **deposits**: `write_bytes` / `write_slice` adopt whole pages by
+//!   refcount when source and destination are page-aligned (the receive
+//!   side of an RDMA deposit) — observationally they must stay plain
+//!   byte copies, including when source and destination overlap.
 //!
 //! Offsets and lengths are drawn to straddle page boundaries aggressively
 //! (the region spans several pages and `offset % region` lands anywhere),
@@ -55,7 +59,7 @@ proptest! {
 
         for &(code, a, b, v) in &ops {
             let (off, len) = shape(a, b);
-            match code % 6 {
+            match code % 8 {
                 // Write a deterministic pattern.
                 0 => {
                     let data = pattern(v, len);
@@ -90,6 +94,41 @@ proptest! {
                     mem.put_u64(off, x).unwrap();
                     model[off..off + 8].copy_from_slice(&x.to_le_bytes());
                     prop_assert_eq!(mem.get_u64(off).unwrap(), x);
+                }
+                // Deposit via `write_bytes`, as the receive path does for
+                // wire payloads. Even `v` picks page-aligned whole-page
+                // source and destination so the refcount-adoption fast
+                // path fires (source and destination may be the same
+                // page); odd `v` deposits an arbitrary window through the
+                // scatter path. Either way it must behave as a byte copy.
+                5 => {
+                    let (src, dst, n) = if v % 2 == 0 {
+                        (
+                            ((a as usize) % 3) * HOST_PAGE,
+                            ((b as usize) % 3) * HOST_PAGE,
+                            HOST_PAGE,
+                        )
+                    } else {
+                        let (src, n) = shape(b, a ^ 0x5bd1_e995);
+                        (src, off.min(LEN - n), n)
+                    };
+                    let data = mem.read_bytes(src, n).unwrap();
+                    let expect = model[src..src + n].to_vec();
+                    mem.write_bytes(dst, &data).unwrap();
+                    model[dst..dst + n].copy_from_slice(&expect);
+                }
+                // Deposit a gathered view via `write_slice` (the memcpy
+                // path). The view snapshots its source, so overlapping
+                // source/destination is well-defined: model it as a copy
+                // through a temporary.
+                6 => {
+                    let (src, n) = shape(b.rotate_left(17), a);
+                    let dst = (a as usize).wrapping_mul(977) % LEN;
+                    let n = n.min(LEN - dst);
+                    let view = mem.read_slice(src, n).unwrap();
+                    let expect = model[src..src + n].to_vec();
+                    mem.write_slice(dst, &view).unwrap();
+                    model[dst..dst + n].copy_from_slice(&expect);
                 }
                 // Fork a clone once, then keep writing to it only: the
                 // clone tracks its own model, the original keeps tracking

@@ -108,6 +108,28 @@ impl Topology {
         }
     }
 
+    /// The fewest switches any route between two *distinct* endpoints
+    /// crosses — the closest pair in the tree. Combined with the latency
+    /// model this bounds how early any packet can arrive anywhere, which
+    /// is the conservative-parallel engine's lookahead.
+    ///
+    /// # Panics
+    /// Panics on a single-node topology (no distinct pair exists).
+    pub fn min_route_switches(&self) -> u32 {
+        assert!(
+            self.nodes >= 2,
+            "no distinct node pair in a {}-node topology",
+            self.nodes
+        );
+        if self.nodes_per_leaf() >= 2 {
+            1
+        } else if self.levels == 2 || self.nodes_per_pod() >= 2 {
+            3
+        } else {
+            5
+        }
+    }
+
     /// Total number of switches in the fabric (for reporting).
     pub fn switch_count(&self) -> u32 {
         let k = self.ports;
@@ -183,6 +205,35 @@ mod tests {
         for (a, b) in [(0u32, 1), (0, 30), (10, 400), (650, 20), (333, 334)] {
             assert_eq!(t.route_switches(a, b), t.route_switches(b, a));
         }
+    }
+
+    #[test]
+    fn min_route_switches_matches_closest_pair() {
+        // Exhaustively confirm against brute force on assorted shapes,
+        // including degenerate radix-2 trees whose leaves hold one node.
+        for (nodes, ports) in [
+            (2u32, 36u32),
+            (36, 36),
+            (64, 36),
+            (1024, 36),
+            (12, 4),
+            (4, 3), // 2 levels, 1 node per leaf: closest pair crosses 3
+            (5, 3), // 3 levels, 1 node per leaf and pod: every route is 5
+        ] {
+            let t = Topology::fat_tree(nodes, ports);
+            let brute = (0..nodes)
+                .flat_map(|a| (0..nodes).filter(move |&b| b != a).map(move |b| (a, b)))
+                .map(|(a, b)| t.route_switches(a, b))
+                .min()
+                .unwrap();
+            assert_eq!(t.min_route_switches(), brute, "nodes={nodes} ports={ports}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no distinct node pair")]
+    fn min_route_switches_rejects_single_node() {
+        Topology::fat_tree(1, 36).min_route_switches();
     }
 
     #[test]

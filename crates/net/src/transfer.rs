@@ -88,11 +88,11 @@ impl Network {
         dst: NodeId,
         bytes: usize,
     ) -> PacketTiming {
-        let occupancy = self.params.packet_occupancy(bytes);
-        let (tx_start, tx_end) = self.egress[src as usize].reserve(ready, occupancy);
+        let (tx_start, tx_end) = self.egress_phase(ready, src, bytes);
         if src == dst {
             // NIC-local loopback: no fabric, but still serialized through
             // the (shared) endpoint port pair.
+            let occupancy = self.params.packet_occupancy(bytes);
             let (_, rx_end) = self.ingress[dst as usize].reserve(tx_start, occupancy);
             self.packets += 1;
             self.bytes += bytes as u64;
@@ -102,19 +102,51 @@ impl Network {
                 arrival: rx_end,
             };
         }
-        let latency = self.base_latency(src, dst);
         // The head of the packet reaches the destination port at
         // tx_start + L; the ingress port then needs `occupancy` to take the
         // packet in (and serializes competing arrivals).
-        let head_at_dst = tx_start + latency;
-        let (_, rx_end) = self.ingress[dst as usize].reserve(head_at_dst, occupancy);
-        self.packets += 1;
-        self.bytes += bytes as u64;
+        let head_at_dst = tx_start + self.base_latency(src, dst);
+        let arrival = self.ingress_phase(head_at_dst, dst, bytes);
         PacketTiming {
             tx_start,
             tx_end,
-            arrival: rx_end,
+            arrival,
         }
+    }
+
+    /// Egress half of [`Network::send_packet`]: reserve the source egress
+    /// link and return `(tx_start, tx_end)`. Touches only `src`-local
+    /// state, so a sharded engine that owns `src` can run it without
+    /// synchronization; the matching [`Network::ingress_phase`] is replayed
+    /// later, in global order, on the coordinator's ledger network.
+    pub fn egress_phase(&mut self, ready: Time, src: NodeId, bytes: usize) -> (Time, Time) {
+        let occupancy = self.params.packet_occupancy(bytes);
+        self.egress[src as usize].reserve(ready, occupancy)
+    }
+
+    /// Ingress half of [`Network::send_packet`]: the packet head is at the
+    /// destination port at `head_at_dst`; reserve the ingress link
+    /// (serializing competing arrivals — incast) and return the arrival
+    /// time of the last byte. The fabric-wide packet/byte counters live
+    /// here, on the side that is replayed exactly once per packet.
+    pub fn ingress_phase(&mut self, head_at_dst: Time, dst: NodeId, bytes: usize) -> Time {
+        let occupancy = self.params.packet_occupancy(bytes);
+        let (_, rx_end) = self.ingress[dst as usize].reserve(head_at_dst, occupancy);
+        self.packets += 1;
+        self.bytes += bytes as u64;
+        rx_end
+    }
+
+    /// The smallest zero-load latency between any two *distinct* endpoints:
+    /// the conservative lookahead δ of the sharded parallel engine. A
+    /// packet dispatched at `t` cannot arrive anywhere before `t + δ`, so
+    /// shards may safely execute the half-open window `[t, t + δ)` in
+    /// parallel.
+    ///
+    /// # Panics
+    /// Panics on a single-node fabric (no pair exists to bound).
+    pub fn min_lookahead(&self) -> Time {
+        self.params.route_latency(self.topo.min_route_switches())
     }
 
     /// When `src`'s egress link next frees (for send-queue modelling).
@@ -212,6 +244,51 @@ mod tests {
         let mut n = net(4);
         let t = n.send_packet(Time::ZERO, 2, 2, 64);
         assert!(t.arrival < Time::from_ns(20), "{:?}", t);
+    }
+
+    #[test]
+    fn phase_split_composes_to_send_packet() {
+        // egress_phase + base_latency + ingress_phase must reproduce
+        // send_packet bit-for-bit, including under contention — this is
+        // what lets the sharded engine split the two halves across the
+        // shard/coordinator boundary.
+        let mut whole = net(3);
+        let mut split = net(3);
+        let sends = [
+            (0u64, 0u32, 2u32, 4096usize),
+            (0, 1, 2, 4096), // incast at node 2
+            (0, 0, 2, 8),
+            (50_000, 1, 0, 2000),
+            (50_000, 2, 0, 2000),
+        ];
+        for &(ready, src, dst, bytes) in &sends {
+            let a = whole.send_packet(Time::from_ps(ready), src, dst, bytes);
+            let (tx_start, tx_end) = split.egress_phase(Time::from_ps(ready), src, bytes);
+            let head = tx_start + split.base_latency(src, dst);
+            let arrival = split.ingress_phase(head, dst, bytes);
+            assert_eq!(
+                (a.tx_start, a.tx_end, a.arrival),
+                (tx_start, tx_end, arrival)
+            );
+        }
+        assert_eq!(whole.packets_sent(), split.packets_sent());
+        assert_eq!(whole.bytes_sent(), split.bytes_sent());
+    }
+
+    #[test]
+    fn min_lookahead_is_the_closest_pair_latency() {
+        // Two nodes on one leaf: δ = one-switch route = 116.8 ns.
+        assert_eq!(net(2).min_lookahead(), Time::from_ps(116_800));
+        // 12 nodes on 4-port switches (the fat-tree golden): leaves of 2,
+        // so the closest pair still shares a leaf.
+        let n = Network::new(
+            12,
+            NetParams {
+                switch_ports: 4,
+                ..NetParams::paper()
+            },
+        );
+        assert_eq!(n.min_lookahead(), Time::from_ps(116_800));
     }
 
     #[test]

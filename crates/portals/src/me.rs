@@ -106,6 +106,10 @@ pub struct MatchEntry {
     pub handler_mem: (usize, usize),
     /// Opaque user pointer returned in events.
     pub user_ptr: u64,
+    /// Simulated time (ps) at which the append *takes effect* on the NIC.
+    /// `PtlMEAppend` costs host-core time; until the charged call
+    /// completes, headers must not see this entry (`0` = always active).
+    pub active_at: u64,
 }
 
 impl MatchEntry {
@@ -187,20 +191,27 @@ impl MatchList {
     /// Entries searched when the *header* packet of a message arrives (the
     /// paper: "only header packets search the full matching queue"). The
     /// returned count is what the 30 ns header-match cost covers; follow-on
-    /// packets hit the CAM instead.
+    /// packets hit the CAM instead. `now_ps` is the match time: entries
+    /// whose append has not yet taken effect (`active_at > now_ps`) are
+    /// invisible, exactly as on hardware where `PtlMEAppend` completes
+    /// only after the host call returns.
     pub fn match_header(
         &mut self,
         bits: MatchBits,
         source: ProcessId,
         rlength: usize,
         req_offset: usize,
+        now_ps: u64,
     ) -> Option<MatchOutcome> {
         for list in [ListKind::Priority, ListKind::Overflow] {
             let entries = match list {
                 ListKind::Priority => &mut self.priority,
                 ListKind::Overflow => &mut self.overflow,
             };
-            if let Some(pos) = entries.iter().position(|e| e.matches(bits, source)) {
+            if let Some(pos) = entries
+                .iter()
+                .position(|e| e.active_at <= now_ps && e.matches(bits, source))
+            {
                 let me = &mut entries[pos];
                 let dest_offset = if me.options.manage_local {
                     me.local_offset
@@ -293,6 +304,7 @@ pub fn simple_me(
         hpu_memory: None,
         handler_mem: (0, 0),
         user_ptr: 0,
+        active_at: 0,
     }
 }
 
@@ -308,8 +320,8 @@ mod tests {
     fn exact_match() {
         let mut l = MatchList::new();
         l.append(me(42, 0), ListKind::Priority);
-        assert!(l.match_header(42, 0, 100, 0).is_some());
-        assert!(l.match_header(43, 0, 100, 0).is_none());
+        assert!(l.match_header(42, 0, 100, 0, 0).is_some());
+        assert!(l.match_header(43, 0, 100, 0, 0).is_none());
     }
 
     #[test]
@@ -317,7 +329,7 @@ mod tests {
         let mut l = MatchList::new();
         // Match on the low 32 bits only.
         l.append(me(0x0000_0001, 0xFFFF_FFFF_0000_0000), ListKind::Priority);
-        assert!(l.match_header(0xABCD_0000_0000_0001, 7, 10, 0).is_some());
+        assert!(l.match_header(0xABCD_0000_0000_0001, 7, 10, 0, 0).is_some());
     }
 
     #[test]
@@ -326,8 +338,8 @@ mod tests {
         let mut e = me(5, 0);
         e.source = 3;
         l.append(e, ListKind::Priority);
-        assert!(l.match_header(5, 4, 10, 0).is_none());
-        assert!(l.match_header(5, 3, 10, 0).is_some());
+        assert!(l.match_header(5, 4, 10, 0, 0).is_none());
+        assert!(l.match_header(5, 3, 10, 0, 0).is_some());
     }
 
     #[test]
@@ -336,15 +348,15 @@ mod tests {
         let h_over = l.append(me(1, 0), ListKind::Overflow);
         let h_pri1 = l.append(me(1, 0), ListKind::Priority);
         let _h_pri2 = l.append(me(1, 0), ListKind::Priority);
-        let m = l.match_header(1, 0, 10, 0).unwrap();
+        let m = l.match_header(1, 0, 10, 0, 0).unwrap();
         assert_eq!(m.handle, h_pri1);
         assert_eq!(m.list, ListKind::Priority);
         // Drain priority list; overflow matches next.
         l.unlink(h_pri1);
-        let m2 = l.match_header(1, 0, 10, 0).unwrap();
+        let m2 = l.match_header(1, 0, 10, 0, 0).unwrap();
         assert_ne!(m2.handle, h_over); // h_pri2 still in front
         l.unlink(m2.handle);
-        let m3 = l.match_header(1, 0, 10, 0).unwrap();
+        let m3 = l.match_header(1, 0, 10, 0, 0).unwrap();
         assert_eq!(m3.list, ListKind::Overflow);
     }
 
@@ -354,9 +366,9 @@ mod tests {
         let mut e = me(9, 0);
         e.options = MeOptions::use_once();
         l.append(e, ListKind::Priority);
-        let m = l.match_header(9, 0, 10, 0).unwrap();
+        let m = l.match_header(9, 0, 10, 0, 0).unwrap();
         assert!(m.unlinked);
-        assert!(l.match_header(9, 0, 10, 0).is_none());
+        assert!(l.match_header(9, 0, 10, 0, 0).is_none());
         assert!(l.is_empty());
     }
 
@@ -367,13 +379,13 @@ mod tests {
         e.options = MeOptions::managed_overflow();
         e.length = 10_000;
         l.append(e, ListKind::Priority);
-        let a = l.match_header(1, 0, 4000, 999).unwrap();
-        let b = l.match_header(1, 0, 4000, 999).unwrap();
+        let a = l.match_header(1, 0, 4000, 999, 0).unwrap();
+        let b = l.match_header(1, 0, 4000, 999, 0).unwrap();
         // Requested offset ignored; data packs back to back.
         assert_eq!(a.dest_offset, 0);
         assert_eq!(b.dest_offset, 4000);
         // Third message truncates at the region end.
-        let c = l.match_header(1, 0, 4000, 0).unwrap();
+        let c = l.match_header(1, 0, 4000, 0, 0).unwrap();
         assert_eq!(c.dest_offset, 8000);
         assert_eq!(c.mlength, 2000);
     }
@@ -382,7 +394,7 @@ mod tests {
     fn initiator_offset_respected_without_manage_local() {
         let mut l = MatchList::new();
         l.append(me(1, 0), ListKind::Priority);
-        let m = l.match_header(1, 0, 100, 512).unwrap();
+        let m = l.match_header(1, 0, 100, 512, 0).unwrap();
         assert_eq!(m.dest_offset, 512);
         assert_eq!(m.mlength, 100);
     }
@@ -393,8 +405,28 @@ mod tests {
         let mut e = me(1, 0);
         e.length = 64;
         l.append(e, ListKind::Priority);
-        let m = l.match_header(1, 0, 100, 0).unwrap();
+        let m = l.match_header(1, 0, 100, 0, 0).unwrap();
         assert_eq!(m.mlength, 64);
+    }
+
+    #[test]
+    fn entries_are_invisible_before_active_at() {
+        let mut l = MatchList::new();
+        let mut early = me(1, 0);
+        early.active_at = 500;
+        l.append(early, ListKind::Priority);
+        // Before the append takes effect the header misses...
+        assert!(l.match_header(1, 0, 10, 0, 499).is_none());
+        // ...at/after it, it matches.
+        assert!(l.match_header(1, 0, 10, 0, 500).is_some());
+        // A not-yet-active entry is skipped in favor of a later active one.
+        let mut pending = me(2, 0);
+        pending.active_at = 1_000;
+        l.append(pending, ListKind::Priority);
+        let mut live = me(2, 0);
+        live.active_at = 0;
+        let h_live = l.append(live, ListKind::Priority);
+        assert_eq!(l.match_header(2, 0, 10, 0, 600).unwrap().handle, h_live);
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub struct PortalTableEntry {
     pub match_list: MatchList,
     /// Whether the entry accepts messages (false = flow control active).
     pub enabled: bool,
+    /// Simulated time (ps) at which the most recent `PtlPTEnable` takes
+    /// effect: the host call costs core time, so headers arriving before
+    /// this instant still see the entry disabled (`0` = since forever).
+    pub enabled_at: u64,
     /// EQ receiving target-side events for this entry.
     pub eq: Option<EqHandle>,
     /// Messages dropped while disabled.
@@ -99,6 +103,7 @@ impl PortalsNi {
                 .map(|_| PortalTableEntry {
                     match_list: MatchList::new(),
                     enabled: true,
+                    enabled_at: 0,
                     eq: None,
                     dropped_messages: 0,
                 })
@@ -121,9 +126,19 @@ impl PortalsNi {
         self.pts[pt as usize].eq = eq.into();
     }
 
-    /// Re-enable an entry after flow control (PtlPTEnable).
+    /// Re-enable an entry after flow control (PtlPTEnable), effective
+    /// immediately. NIC-local re-enables (the drain policy) use this.
     pub fn pt_enable(&mut self, pt: PtIndex) {
         self.pts[pt as usize].enabled = true;
+        self.pts[pt as usize].enabled_at = 0;
+    }
+
+    /// Re-enable an entry effective at `at_ps`: headers matched before
+    /// that instant still see it disabled. Host-issued `PtlPTEnable` uses
+    /// this so the charged call latency is NIC-visible.
+    pub fn pt_enable_at(&mut self, pt: PtIndex, at_ps: u64) {
+        self.pts[pt as usize].enabled = true;
+        self.pts[pt as usize].enabled_at = at_ps;
     }
 
     /// Disable an entry (PtlPTDisable).
@@ -190,10 +205,13 @@ impl PortalsNi {
         self.pts[pt as usize].match_list.has_handler_entry()
     }
 
-    /// Present a message header to a portal-table entry.
+    /// Present a message header to a portal-table entry at time `now_ps`.
     ///
     /// On a miss the entry is disabled (flow control) and a `PtDisabled`
-    /// event is pushed to the entry's EQ if it has one.
+    /// event is pushed to the entry's EQ if it has one. The time gates
+    /// both the effective-enabled check (`enabled_at`) and ME visibility
+    /// (`MatchEntry::active_at`): host actions whose charged call has not
+    /// yet completed are invisible to the wire.
     pub fn deliver_header(
         &mut self,
         pt: PtIndex,
@@ -201,15 +219,16 @@ impl PortalsNi {
         source: ProcessId,
         rlength: usize,
         req_offset: usize,
+        now_ps: u64,
     ) -> HeaderDisposition {
-        let enabled = self.pts[pt as usize].enabled;
-        if !enabled {
+        let entry = &self.pts[pt as usize];
+        if !entry.enabled || now_ps < entry.enabled_at {
             self.pts[pt as usize].dropped_messages += 1;
             return HeaderDisposition::Dropped;
         }
         let outcome = self.pts[pt as usize]
             .match_list
-            .match_header(bits, source, rlength, req_offset);
+            .match_header(bits, source, rlength, req_offset, now_ps);
         match outcome {
             Some(m) => HeaderDisposition::Matched(Box::new(m)),
             None => {
@@ -320,16 +339,16 @@ mod tests {
         )
         .unwrap();
         // First message matches.
-        let d = ni.deliver_header(0, 7, 1, 100, 0);
+        let d = ni.deliver_header(0, 7, 1, 100, 0, 0);
         assert!(matches!(d, HeaderDisposition::Matched(_)));
         // Second finds nothing: flow control disables the entry.
-        let d = ni.deliver_header(0, 7, 1, 100, 0);
+        let d = ni.deliver_header(0, 7, 1, 100, 0, 0);
         assert!(matches!(d, HeaderDisposition::FlowControl));
         assert!(!ni.pt_enabled(0));
         assert_eq!(ni.eq_len(eq), 1);
         assert_eq!(ni.eq_pop(eq).unwrap().kind, EventKind::PtDisabled);
         // Third is dropped silently.
-        let d = ni.deliver_header(0, 7, 1, 100, 0);
+        let d = ni.deliver_header(0, 7, 1, 100, 0, 0);
         assert!(matches!(d, HeaderDisposition::Dropped));
         assert_eq!(ni.pt_dropped(0), 2);
         // Re-enable and repost: works again.
@@ -341,7 +360,38 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(
-            ni.deliver_header(0, 7, 1, 100, 0),
+            ni.deliver_header(0, 7, 1, 100, 0, 0),
+            HeaderDisposition::Matched(_)
+        ));
+    }
+
+    #[test]
+    fn pt_enable_at_defers_the_reenable() {
+        let mut ni = ni();
+        ni.pt_disable(0);
+        ni.me_append(
+            0,
+            simple_me(7, 0, ANY_PROCESS, 0, 4096, MeOptions::default()),
+            ListKind::Priority,
+        )
+        .unwrap();
+        ni.pt_enable_at(0, 1_000);
+        assert!(ni.pt_enabled(0));
+        // A header racing the charged PtlPTEnable call still bounces...
+        assert!(matches!(
+            ni.deliver_header(0, 7, 1, 100, 0, 999),
+            HeaderDisposition::Dropped
+        ));
+        // ...and one arriving at/after the effective instant matches.
+        assert!(matches!(
+            ni.deliver_header(0, 7, 1, 100, 0, 1_000),
+            HeaderDisposition::Matched(_)
+        ));
+        // A NIC-local re-enable (drain policy) is immediate.
+        ni.pt_disable(0);
+        ni.pt_enable(0);
+        assert!(matches!(
+            ni.deliver_header(0, 7, 1, 100, 0, 0),
             HeaderDisposition::Matched(_)
         ));
     }
@@ -383,12 +433,12 @@ mod tests {
         .unwrap();
         // PT 0 has nothing: flow control there...
         assert!(matches!(
-            ni.deliver_header(0, 5, 0, 10, 0),
+            ni.deliver_header(0, 5, 0, 10, 0, 0),
             HeaderDisposition::FlowControl
         ));
         // ...but PT 1 still matches.
         assert!(matches!(
-            ni.deliver_header(1, 5, 0, 10, 0),
+            ni.deliver_header(1, 5, 0, 10, 0, 0),
             HeaderDisposition::Matched(_)
         ));
     }

@@ -306,6 +306,40 @@ impl<E> EventQueue<E> {
             self.now = t;
         }
     }
+
+    /// Reset the clock to `t` so the queue can be reused as a scratch
+    /// post-buffer for the next dispatch (the sharded engine hands one
+    /// scratch queue to `dispatch` per event and drains it afterwards).
+    /// The queue must be empty and `t` must not move the clock backwards —
+    /// both would mean posts from one dispatch leaked into another.
+    pub fn restart_at(&mut self, t: Time) {
+        assert!(
+            self.pending.len() == 0,
+            "restart_at on a non-empty queue ({} pending)",
+            self.pending.len()
+        );
+        assert!(
+            t >= self.now,
+            "restart_at moving backwards: t={t:?} now={:?}",
+            self.now
+        );
+        self.now = t;
+    }
+
+    /// Drain every pending event in **post-call order** (ascending internal
+    /// sequence number), leaving the queue empty. The clock and executed
+    /// count are untouched: nothing is being dispatched — the caller (the
+    /// sharded engine) is collecting the posts one dispatch produced so it
+    /// can sequence them globally itself.
+    pub fn drain_posts(&mut self) -> Vec<(Time, E)> {
+        let mut posts = Vec::with_capacity(self.pending.len());
+        while let Some((time, seq, ev)) = self.pending.pop() {
+            posts.push((seq, time, ev));
+        }
+        // `pop` yields (time, seq) order; post order is seq order.
+        posts.sort_by_key(|&(seq, _, _)| seq);
+        posts.into_iter().map(|(_, time, ev)| (time, ev)).collect()
+    }
 }
 
 /// Dispatch trait for types that react to events; an alternative to passing a
@@ -678,6 +712,53 @@ mod tests {
             assert_eq!(q.pop_next(), Some((Time::from_ns(2), 'b')));
             assert_eq!(q.pop_next(), None);
         }
+    }
+
+    #[test]
+    fn drain_posts_returns_post_call_order() {
+        for b in BOTH {
+            let mut q = EventQueue::with_backend(b);
+            q.restart_at(Time::from_ns(10));
+            // Post out of time order, including same-time ties.
+            q.post_at(Time::from_ns(30), 'c');
+            q.post_at(Time::from_ns(20), 'a');
+            q.post_at(Time::from_ns(20), 'b');
+            q.post_now('n');
+            let posts = q.drain_posts();
+            assert_eq!(
+                posts,
+                vec![
+                    (Time::from_ns(30), 'c'),
+                    (Time::from_ns(20), 'a'),
+                    (Time::from_ns(20), 'b'),
+                    (Time::from_ns(10), 'n'),
+                ],
+                "{b:?}"
+            );
+            assert_eq!(q.pending(), 0);
+            assert_eq!(q.executed(), 0, "drain is not dispatch");
+            assert_eq!(q.now(), Time::from_ns(10));
+            // Reusable afterwards.
+            q.restart_at(Time::from_ns(50));
+            q.post_now('x');
+            assert_eq!(q.drain_posts(), vec![(Time::from_ns(50), 'x')]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty queue")]
+    fn restart_at_rejects_pending_events() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.post_at(Time::from_ns(5), 1);
+        q.restart_at(Time::from_ns(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "moving backwards")]
+    fn restart_at_rejects_time_travel() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.restart_at(Time::from_ns(10));
+        q.restart_at(Time::from_ns(5));
     }
 
     #[test]

@@ -94,6 +94,17 @@ impl Gantt {
         }
     }
 
+    /// Absorb another recorder's lanes, appending its spans after any
+    /// already held here. The sharded engine merges per-shard recorders
+    /// whose ranks are disjoint, so in that use each lane comes wholly
+    /// from one side and span order within a lane is preserved.
+    pub fn merge(&mut self, other: Gantt) {
+        self.enabled |= other.enabled;
+        for (lane, spans) in other.lanes {
+            self.lanes.entry(lane).or_default().extend(spans);
+        }
+    }
+
     /// Number of spans recorded.
     pub fn span_count(&self) -> usize {
         self.lanes.values().map(|v| v.len()).sum()
@@ -209,6 +220,23 @@ mod tests {
         let mut g = Gantt::enabled();
         g.record(0, "CPU", Time::from_ns(5), Time::from_ns(5), 'o', || "noop");
         assert_eq!(g.span_count(), 0);
+    }
+
+    #[test]
+    fn merge_unions_disjoint_ranks() {
+        let mut a = Gantt::enabled();
+        a.record(0, "CPU", Time::ZERO, Time::from_ns(5), 'o', || "a");
+        let mut b = Gantt::enabled();
+        b.record(1, "CPU", Time::from_ns(2), Time::from_ns(9), 'x', || "b");
+        b.record(1, "NIC", Time::ZERO, Time::from_ns(1), '=', || "c");
+        let mut merged = Gantt::disabled();
+        merged.merge(a);
+        merged.merge(b);
+        assert!(merged.is_enabled());
+        assert_eq!(merged.span_count(), 3);
+        assert_eq!(merged.spans(0, "CPU").len(), 1);
+        assert_eq!(merged.spans(1, "CPU")[0].label, "b");
+        assert_eq!(merged.makespan(), Time::from_ns(9));
     }
 
     #[test]

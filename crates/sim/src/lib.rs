@@ -21,6 +21,7 @@ pub mod littles_law;
 pub mod noise;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 

@@ -280,7 +280,7 @@ fn golden_scenario(nic: NicKind, flow: bool) -> Report {
             yield_on_dma: false,
         };
     }
-    let receiver: Box<dyn HostProgram> = if flow {
+    let receiver: Box<dyn HostProgram + Send> = if flow {
         Box::new(FlowReceiver)
     } else {
         Box::new(GoldenReceiver)

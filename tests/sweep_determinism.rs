@@ -43,7 +43,6 @@ fn parallel_sweep_json_is_byte_identical_to_serial() {
     std::env::set_var("SPIN_JOBS", &parallel_jobs);
     assert!(sweep::jobs() > 1, "parallel leg must actually fan out");
     let parallel = emit();
-    std::env::remove_var("SPIN_JOBS");
 
     assert!(
         serial == parallel,
@@ -52,6 +51,21 @@ fn parallel_sweep_json_is_byte_identical_to_serial() {
         serial.len(),
         parallel.len()
     );
+
+    // The work queue hands indices to whichever worker asks first, so the
+    // claim interleaving differs at every worker count — ragged counts
+    // (3, 7) that never divide the cell grid evenly must still emit the
+    // same bytes. Static chunking passed this trivially; the dynamic
+    // queue has to earn it through index-keyed result slots.
+    for jobs in ["3", "7"] {
+        std::env::set_var("SPIN_JOBS", jobs);
+        let ragged = emit();
+        assert!(
+            serial == ragged,
+            "sweep output diverged between SPIN_JOBS=1 and SPIN_JOBS={jobs}"
+        );
+    }
+    std::env::remove_var("SPIN_JOBS");
     // Sanity: the comparison compared something real.
     assert!(serial.len() > 1_000, "suspiciously small output");
 }

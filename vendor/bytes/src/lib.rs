@@ -96,6 +96,18 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// The shared backing storage, if this view covers it *exactly*
+    /// (start 0, end `data.len()`). Lets page-granular consumers adopt
+    /// the storage by reference count instead of copying — the receive
+    /// dual of [`Bytes::from_arc`]. Partial views return `None`.
+    pub fn full_backing(&self) -> Option<Arc<[u8]>> {
+        if self.start == 0 && self.end == self.data.len() {
+            Some(Arc::clone(&self.data))
+        } else {
+            None
+        }
+    }
 }
 
 impl Deref for Bytes {

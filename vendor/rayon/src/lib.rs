@@ -1,14 +1,16 @@
 //! Minimal, offline stand-in for `rayon`.
 //!
-//! Implements the parallel-iterator shapes the experiment sweeps use —
-//! `par_iter()` optionally followed by `filter`/`enumerate`, then
-//! `map(..).collect()` — with real parallelism: the item list is split into
-//! one contiguous chunk per available core and mapped on
-//! `std::thread::scope` threads, preserving input order in the collected
-//! output. This is not a work-stealing pool — chunks are static — but
-//! experiment sweep items have similar cost, so static chunking keeps the
-//! cores busy. `filter` and `enumerate` materialize their (cheap) item
-//! lists eagerly; only the `map` stage runs in parallel.
+//! Implements the parallel-iterator shapes the experiment sweeps and the
+//! sharded engine use — `par_iter()` optionally followed by
+//! `filter`/`enumerate`, then `map(..).collect()`, plus
+//! `par_iter_mut().for_each(..)` — with real parallelism on
+//! `std::thread::scope` threads. Work is distributed through a shared
+//! atomic claim counter (a single-producer work queue): each worker
+//! repeatedly claims the next unclaimed index and runs it, so a handful
+//! of expensive items at the head of the list no longer idles the tail
+//! workers the way static contiguous chunks did. `filter` and `enumerate`
+//! materialize their (cheap) item lists eagerly; only the `map`/`for_each`
+//! stage runs in parallel.
 //!
 //! The worker count honors the `SPIN_JOBS` environment variable (a
 //! positive integer; `0`/unset/unparsable = one worker per available
@@ -16,17 +18,22 @@
 //! use, so one setting controls every parallel stage in a process.
 //!
 //! **Order guarantee:** `par_iter().map(..).collect()` yields results in
-//! input order regardless of worker count or per-item cost — chunks are
-//! contiguous input ranges, each worker returns its chunk's results in
-//! order, and the chunks are concatenated in spawn order. The sweep
+//! input order regardless of worker count, per-item cost, or which worker
+//! happens to claim which index — every result is placed into a slot
+//! keyed by its input index and the slots are drained in index order.
+//! Claim interleavings affect wall-clock only, never output. The sweep
 //! harness's deterministic merge depends on this; it is pinned by
 //! `collect_preserves_input_order_across_chunk_boundaries` below.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Re-exports matching `rayon::prelude::*` at the call sites.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParIter, ParMap, VecParIter, VecParMap};
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, ParIterMut, ParMap,
+        VecParIter, VecParMap,
+    };
 }
 
 /// Collections whose elements can be visited in parallel by reference.
@@ -52,6 +59,29 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     }
 }
 
+/// Collections whose elements can be visited in parallel by `&mut`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type yielded by mutable reference.
+    type Item: Send + 'data;
+
+    /// A parallel iterator over `&mut Self::Item`.
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
 /// Worker-thread count: `SPIN_JOBS` when set to a positive integer,
 /// otherwise one per available core. Public (the real crate exposes
 /// `current_num_threads` too) so callers that branch on "serial vs
@@ -74,32 +104,67 @@ pub fn current_num_threads() -> usize {
     }
 }
 
-/// Split `items` into per-worker chunks and map them on scoped threads,
-/// returning results in input order.
-fn map_chunked<'s, I, R, C, F>(items: &'s [I], f: &F) -> C
+/// Run `f(0..len)` across scoped worker threads through a shared atomic
+/// claim counter, returning results in index order.
+///
+/// Each worker loops claiming the next unclaimed index with a
+/// `fetch_add` and records `(index, result)` pairs locally; the pairs
+/// are then placed into an index-keyed slot vector, so the returned
+/// `Vec` is identical for every worker count and every claim
+/// interleaving — only wall-clock changes. This is the deterministic
+/// work queue every parallel combinator below is built on.
+fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        done.push((i, f(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("rayon stub worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("claim counter visits every index exactly once"))
+        .collect()
+}
+
+/// Map a slice through the work queue, collecting in input order.
+fn map_queued<'s, I, R, C, F>(items: &'s [I], f: &F) -> C
 where
     I: Sync,
     R: Send,
     C: FromIterator<R>,
     F: Fn(&'s I) -> R + Sync,
 {
-    let threads = current_num_threads();
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut per_chunk: Vec<Vec<R>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        per_chunk = handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon stub worker panicked"))
-            .collect();
-    });
-    per_chunk.into_iter().flatten().collect()
+    run_indexed(items.len(), |i| f(&items[i]))
+        .into_iter()
+        .collect()
 }
 
 /// A parallel iterator borrowing a slice.
@@ -138,6 +203,39 @@ impl<'data, T: Sync> ParIter<'data, T> {
     }
 }
 
+/// A parallel iterator mutably borrowing a slice, produced by
+/// [`IntoParallelRefMutIterator::par_iter_mut`]. This is the fan-out
+/// shape the sharded engine uses: one `&mut` element per worker visit,
+/// each element visited exactly once.
+pub struct ParIterMut<'data, T> {
+    items: &'data mut [T],
+}
+
+/// A raw base pointer that may cross thread boundaries. Disjoint-index
+/// access is enforced by the claim counter in [`run_indexed`]: every
+/// index is handed to exactly one worker, so no two threads ever hold
+/// references to the same element.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Visit every element through `f` in parallel, each exactly once.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let len = self.items.len();
+        let base = SyncPtr(self.items.as_mut_ptr());
+        let base = &base;
+        run_indexed(len, |i| {
+            // SAFETY: `i < len` (checked by the claim loop) and each index
+            // is claimed by exactly one worker, so this `&mut` is unique;
+            // the scope in `run_indexed` ends before `self.items` does.
+            f(unsafe { &mut *base.0.add(i) });
+        });
+    }
+}
+
 /// The result of [`ParIter::map`], consumed by [`ParMap::collect`].
 pub struct ParMap<'data, T, F> {
     items: &'data [T],
@@ -152,7 +250,7 @@ where
 {
     /// Run the maps across threads and collect results in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        map_chunked(self.items, &self.f)
+        map_queued(self.items, &self.f)
     }
 }
 
@@ -190,7 +288,7 @@ where
 {
     /// Run the maps across threads and collect results in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        map_chunked(&self.items, &|item: &I| (self.f)(*item))
+        map_queued(&self.items, &|item: &I| (self.f)(*item))
     }
 }
 
@@ -243,6 +341,14 @@ mod tests {
                 let xs: Vec<u64> = (0..n).collect();
                 let ys: Vec<u64> = xs.par_iter().map(|&i| skewed_work(i, n)).collect();
                 assert_eq!(ys, xs, "order broke at jobs={jobs} n={n}");
+                // `for_each` over `&mut` visits every element exactly once
+                // under the same skew (a double visit or a miss would show
+                // up as a wrong value at that index).
+                let mut ms: Vec<u64> = (0..n).collect();
+                ms.par_iter_mut()
+                    .for_each(|x| *x = skewed_work(*x, n).wrapping_mul(3).wrapping_add(1));
+                let want: Vec<u64> = (0..n).map(|i| i * 3 + 1).collect();
+                assert_eq!(ms, want, "mutation broke at jobs={jobs} n={n}");
             }
         }
         // `0` and garbage fall back to auto rather than panicking.
