@@ -60,7 +60,7 @@ fn fig3_digest(quick: bool) -> u64 {
 }
 
 fn saturation_digest(quick: bool) -> u64 {
-    let tables = saturation::saturation_tables(quick);
+    let tables = saturation::saturation_tables(quick, 1);
     fnv1a(serde_json::to_string(&tables).expect("json").as_bytes())
 }
 

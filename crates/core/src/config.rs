@@ -127,6 +127,13 @@ pub struct MachineConfig {
     pub recovery: Option<RecoveryConfig>,
     /// Record Gantt timelines (costs memory; for examples/debugging).
     pub record_gantt: bool,
+    /// Charge a batched same-destination packet run's delivery DMA as one
+    /// pipelined occupancy interval (first-packet gap search + per-packet
+    /// tail append) instead of k independent gap searches. Timings are
+    /// provably identical to the per-packet model (the differential
+    /// reference; see `spin_hpu::dma::DmaEngine::begin_write_run`) — this
+    /// flag only gates the fast path so A/B runs can isolate it.
+    pub pipelined_dma: bool,
     /// RNG seed for noise streams.
     pub seed: u64,
 }
@@ -145,6 +152,7 @@ impl MachineConfig {
             noise: None,
             recovery: None,
             record_gantt: false,
+            pipelined_dma: true,
             seed: 0xC0FFEE,
         }
     }

@@ -196,6 +196,15 @@ impl RecoveryManager {
         matches!(op, OpKind::Put | OpKind::Atomic(_) | OpKind::Get)
     }
 
+    /// Whether `msg_id` is a tracked in-flight recoverable message. A
+    /// probe/replay re-injection (`attempt > 0`) whose message is no
+    /// longer tracked was abandoned after the replay was queued — the
+    /// send path discards it instead of resurrecting a send whose
+    /// delivery failure was already reported.
+    pub fn is_tracked(&self, msg_id: u64) -> bool {
+        self.inflight.contains_key(&msg_id)
+    }
+
     /// The recovery state of a `(peer, pt)` pair (tests/introspection).
     pub fn peer_state(&self, peer: u32, pt: u32) -> PeerState {
         self.peers
@@ -455,6 +464,19 @@ impl World {
                     .record(n, "RECOV", now, now + Time::from_ns(1), 'A', || {
                         format!("abandon p{peer} pt{pt} ({count} msgs)")
                     });
+                // A probe/replay re-injection of an abandoned message may
+                // still sit in the queue as a not-yet-dispatched
+                // `NicInject` (posted at `now`): tombstone it so the
+                // abandoned send cannot transmit after its delivery
+                // failure is reported. Only retransmissions qualify
+                // (`attempt > 0`) — first sends are never queued as
+                // `NicInject` while tracked.
+                q.cancel_where(|ev| match ev {
+                    Ev::NicInject(node, m) => {
+                        *node == n && m.attempt > 0 && dropped.iter().any(|a| a.msg_id == m.msg_id)
+                    }
+                    _ => false,
+                });
                 // Surface the delivery failure to the ULP
                 // (`PTL_NI_UNDELIVERABLE`): one event per abandoned message
                 // whose initiator asked for completion notification. The
@@ -784,6 +806,67 @@ mod tests {
         assert_eq!(m.on_nack(Time::ZERO, 1, 0, 0), NackStep::Stale);
         assert_eq!(m.on_ack_ok(Time::ZERO, 1), AckStep::Untracked);
         assert_eq!(m.note_pt_disabled(Time::ZERO, 0), None);
+    }
+
+    #[test]
+    fn abandon_tombstones_queued_replays_of_dropped_messages() {
+        // PR 4 follow-on: a replay `NicInject` already queued when its
+        // message is abandoned must not dispatch — the tombstone in the
+        // Abandon arm removes it from the event queue.
+        use crate::config::{MachineConfig, NicKind};
+        let mut config = MachineConfig::paper(NicKind::Discrete).with_recovery();
+        config.recovery.as_mut().unwrap().max_probes = 1;
+        let mut world = World::new(config, 2);
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let msg = OutMsg {
+            msg_id: 42,
+            ..OutMsg::put_inline(0, 1, 0, 7, Bytes::from_static(b"x"))
+        };
+        assert_eq!(
+            world.nodes[0].nic.recovery.on_send(&msg),
+            crate::recovery::SendStep::Transmit
+        );
+        // First NACK: backoff, a RecoveryTimer is queued.
+        let t = Time::from_us(1);
+        world.on_recovery_nack(&mut q, t, 0, 1, 0, 42);
+        assert_eq!(q.pending(), 1);
+        // The timer fires: the probe replay posts a NicInject (attempt 1).
+        world.on_recovery_timer(&mut q, t + Time::from_us(1), 0, 1, 0);
+        assert_eq!(q.pending(), 2);
+        assert!(world.nodes[0].nic.recovery.is_tracked(42));
+        // The probe bounces; max_probes = 1 abandons the episode. The
+        // queued replay must be tombstoned, not left to dispatch.
+        world.on_recovery_nack(&mut q, t + Time::from_us(2), 0, 1, 0, 42);
+        assert!(!world.nodes[0].nic.recovery.is_tracked(42));
+        assert_eq!(world.nodes[0].nic.stats.recovery_abandoned, 1);
+        let mut injects = 0;
+        while let Some((_, ev)) = q.pop_next() {
+            if matches!(ev, Ev::NicInject(..)) {
+                injects += 1;
+            }
+        }
+        assert_eq!(injects, 0, "abandoned replay dispatched");
+    }
+
+    #[test]
+    fn ghost_replay_injections_are_discarded() {
+        // Defense in depth for the same hazard: an `attempt > 0`
+        // re-injection whose message is no longer recovery-tracked is
+        // dropped at the top of the send path (covers the sharded engine,
+        // whose scratch queues the tombstone cannot reach).
+        use crate::config::{MachineConfig, NicKind};
+        let config = MachineConfig::paper(NicKind::Discrete).with_recovery();
+        let mut world = World::new(config, 2);
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let ghost = OutMsg {
+            msg_id: 7,
+            attempt: 1,
+            ..OutMsg::put_inline(0, 1, 0, 7, Bytes::from_static(b"x"))
+        };
+        world.inject(&mut q, Time::ZERO, 0, ghost);
+        assert_eq!(q.pending(), 0, "ghost replay reached the wire");
+        assert_eq!(world.network.packets_sent(), 0);
+        assert!(world.nodes[0].nic.pending_sends.is_empty());
     }
 
     #[test]

@@ -28,6 +28,13 @@ impl World {
         if msg.msg_id == 0 {
             msg.msg_id = self.nodes[n as usize].nic.next_msg_id(n);
         }
+        // Ghost replay: a retransmission whose message was abandoned after
+        // the re-injection was queued (tombstoned in the event queue, but
+        // filtered here too so both engines are covered identically). Its
+        // delivery failure was already reported — do not resurrect it.
+        if msg.attempt > 0 && !self.nodes[n as usize].nic.recovery.is_tracked(msg.msg_id) {
+            return;
+        }
         // §3.2 recovery: register recoverable messages with the retransmit
         // machinery; while the (dst, pt) pair is recovering, new sends are
         // held on the retransmit queue so per-pair ordering survives.

@@ -27,8 +27,8 @@ use spin_hpu::memory::HostMemory;
 use spin_net::transfer::Network;
 use spin_portals::ct::{CtHandle, TriggeredAction};
 use spin_portals::eq::FullEvent;
-use spin_portals::types::Packet;
-use spin_sim::engine::{Engine, EventQueue};
+use spin_portals::types::{OpKind, Packet};
+use spin_sim::engine::{BatchDispatch, Dispatch, Engine, EventQueue};
 use spin_sim::gantt::Gantt;
 use spin_sim::noise::NoiseSource;
 use spin_sim::rng::SimRng;
@@ -234,6 +234,57 @@ impl World {
             at + self.config.host.dispatch_latency,
             Ev::HostDeliver(n, Box::new(ev)),
         );
+    }
+}
+
+impl Dispatch<Ev> for World {
+    fn dispatch(&mut self, queue: &mut EventQueue<Ev>, now: Time, event: Ev) {
+        World::dispatch(self, queue, now, event);
+    }
+}
+
+impl BatchDispatch<Ev> for World {
+    /// Batch key: non-header packets, keyed by stream class. Header
+    /// packets (matching, channel install, handler dispatch — all
+    /// effectful beyond the assembly state) and acks (recovery machinery,
+    /// which may tombstone queued events) never batch; reply streams key
+    /// separately from put/get follow-ons because their per-packet ready
+    /// time is computed differently.
+    ///
+    /// The key is deliberately coarse — it does not pin the destination
+    /// node or message id — so that the engine's `pop_run` can drain any
+    /// same-time cluster of follow-on packets in one calendar-bucket
+    /// scan (under ingress serialization, simultaneous arrivals are
+    /// almost always *cross*-node, e.g. the symmetric levels of a
+    /// binomial broadcast tree). [`World::dispatch_packet_run`] then
+    /// takes the vectored single-lookup path only when the run is
+    /// uniform in `(node, msg)`, and otherwise falls back to the
+    /// reference per-event order.
+    fn run_key(&self, event: &Ev) -> Option<u128> {
+        let Ev::PacketArrive(_, pkt) = event else {
+            return None;
+        };
+        if pkt.is_header() {
+            return None;
+        }
+        match pkt.header.op {
+            OpKind::Ack => None,
+            OpKind::Reply => Some(1),
+            _ => Some(0),
+        }
+    }
+
+    fn dispatch_run(&mut self, queue: &mut EventQueue<Ev>, batch: &mut Vec<(Time, u64, Ev)>) {
+        self.dispatch_packet_run(queue, batch);
+    }
+}
+
+/// Whether the serial engine uses batched same-time dispatch
+/// (`SPIN_BATCH_DISPATCH`; default on, `0`/`off`/`false` disables).
+pub fn batch_dispatch_enabled() -> bool {
+    match std::env::var("SPIN_BATCH_DISPATCH") {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false"),
+        Err(_) => true,
     }
 }
 
@@ -447,8 +498,16 @@ impl SimBuilder {
         crate::shard::run_sharded(self, k)
     }
 
-    /// Run on the serial reference engine.
+    /// Run on the serial reference engine, batched dispatch per
+    /// [`batch_dispatch_enabled`].
     pub fn run_serial(self) -> SimOutput {
+        self.run_serial_batched(batch_dispatch_enabled())
+    }
+
+    /// Run on the serial reference engine with batched same-time dispatch
+    /// explicitly on or off (`false` = the single-event reference path;
+    /// both produce bit-identical reports by construction).
+    pub fn run_serial_batched(self, batched: bool) -> SimOutput {
         let n = self.programs.len() as u32;
         assert!(n > 0, "a simulation needs at least one node");
         let mut world = World::new(self.config, n);
@@ -459,7 +518,11 @@ impl SimBuilder {
         for i in 0..n {
             engine.queue_mut().post_at(Time::ZERO, Ev::Start(i));
         }
-        let end = engine.run_with(|q, now, ev| world.dispatch(q, now, ev));
+        let end = if batched {
+            engine.run_batched(&mut world)
+        } else {
+            engine.run_with(|q, now, ev| world.dispatch(q, now, ev))
+        };
         let report = Report {
             end_time: end,
             events_executed: engine.executed(),

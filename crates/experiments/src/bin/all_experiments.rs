@@ -19,6 +19,6 @@ fn main() {
         ablation::hpu_count_table(opts.quick),
         ablation::handler_cost_table(opts.quick),
     ];
-    tables.extend(saturation::saturation_tables(opts.quick));
+    tables.extend(saturation::saturation_tables(opts.quick, opts.reps));
     emit(opts, &tables);
 }

@@ -3,5 +3,5 @@
 use spin_experiments::{emit, saturation, Opts};
 fn main() {
     let opts = Opts::from_args();
-    emit(opts, &saturation::saturation_tables(opts.quick));
+    emit(opts, &saturation::saturation_tables(opts.quick, opts.reps));
 }

@@ -33,7 +33,7 @@ pub mod sweep;
 pub mod table5;
 
 /// Common experiment options parsed from argv.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Opts {
     /// Shrink sweeps for fast smoke runs.
     pub quick: bool,
@@ -44,6 +44,22 @@ pub struct Opts {
     /// flag was absent (inherit `SPIN_JOBS` / auto). Output is
     /// bit-identical at every setting (see [`sweep`]).
     pub jobs: Option<usize>,
+    /// Replications per sweep point (`--reps R`, default 1). Experiments
+    /// that support it run each point `R` times through independent
+    /// `(point, replication, seed)` cells and report mean ± 95% CI series;
+    /// `R = 1` reproduces the single-run output byte-for-byte.
+    pub reps: u32,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            quick: false,
+            json: false,
+            jobs: None,
+            reps: 1,
+        }
+    }
 }
 
 impl Opts {
@@ -53,7 +69,7 @@ impl Opts {
     /// process environment as `SPIN_JOBS` so every sweep in the binary
     /// (and the vendored rayon pool) honors it.
     pub fn from_args() -> Self {
-        const USAGE: &str = "options: --quick (small sweeps)  --json (machine-readable)  --jobs N (sweep workers, 0 = all cores)";
+        const USAGE: &str = "options: --quick (small sweeps)  --json (machine-readable)  --jobs N (sweep workers, 0 = all cores)  --reps R (replications per point, mean ± 95% CI when R > 1)";
         match Self::parse(std::env::args().skip(1)) {
             Ok(Some(o)) => {
                 if let Some(jobs) = o.jobs {
@@ -92,6 +108,14 @@ impl Opts {
                         n.parse()
                             .map_err(|_| format!("--jobs {n} (not a worker count)"))?,
                     );
+                }
+                "--reps" => {
+                    let r = it.next().ok_or_else(|| "--reps (missing R)".to_string())?;
+                    o.reps = r
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&r| r >= 1)
+                        .ok_or_else(|| format!("--reps {r} (not a replication count >= 1)"))?;
                 }
                 "--help" | "-h" => return Ok(None),
                 _ => return Err(a),
@@ -166,5 +190,26 @@ mod tests {
         );
         assert!(Opts::parse(args(&["--jobs", "many"])).is_err());
         assert!(Opts::parse(args(&["--jobs", "-1"])).is_err());
+    }
+
+    #[test]
+    fn opts_parse_reps() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Absent flag: single replication (byte-identical legacy output).
+        assert_eq!(Opts::parse(args(&[])).unwrap().unwrap().reps, 1);
+        let o = Opts::parse(args(&["--reps", "5", "--quick"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(o.reps, 5);
+        assert!(o.quick);
+        // Zero, missing, or malformed R fails loudly: a sweep needs at
+        // least one replication per point.
+        assert!(Opts::parse(args(&["--reps", "0"])).is_err());
+        assert!(Opts::parse(args(&["--reps", "-2"])).is_err());
+        assert!(Opts::parse(args(&["--reps", "few"])).is_err());
+        assert_eq!(
+            Opts::parse(args(&["--reps"])),
+            Err("--reps (missing R)".to_string())
+        );
     }
 }

@@ -18,7 +18,7 @@
 use crate::sweep;
 use spin_apps::saturate::{self, SaturateMode, SaturateParams};
 use spin_core::config::{MachineConfig, NicKind};
-use spin_sim::stats::Table;
+use spin_sim::stats::{OnlineStats, Table};
 use spin_sim::time::Time;
 
 fn params(interval: Time, quick: bool) -> SaturateParams {
@@ -43,10 +43,14 @@ fn intervals(quick: bool) -> Vec<Time> {
         .collect()
 }
 
-/// One sweep for one NIC kind: per offered-load point, the outcome of
-/// each transport (each simulation runs once; both tables derive from it).
-fn sweep(nic: NicKind, quick: bool) -> Vec<(f64, Vec<(String, saturate::SaturateOutcome)>)> {
-    sweep::map_points(&intervals(quick), |&interval, cell| {
+/// One sweep point: offered load plus per-transport outcomes.
+type PointRow = (f64, Vec<(String, saturate::SaturateOutcome)>);
+
+/// One sweep for one NIC kind: `rows[point][replication]` is the outcome
+/// of each transport for that `(point, replication, seed)` cell (each
+/// simulation runs once; both tables derive from it).
+fn sweep(nic: NicKind, quick: bool, reps: u32) -> Vec<Vec<PointRow>> {
+    sweep::run_cells(&intervals(quick), reps, |&interval, cell| {
         let p = params(interval, quick);
         let ys: Vec<(String, saturate::SaturateOutcome)> = SaturateMode::ALL
             .iter()
@@ -66,10 +70,12 @@ fn sweep(nic: NicKind, quick: bool) -> Vec<(f64, Vec<(String, saturate::Saturate
     })
 }
 
-fn tables_from_sweep(
-    nic: NicKind,
-    rows: &[(f64, Vec<(String, saturate::SaturateOutcome)>)],
-) -> (Table, Table) {
+/// Half-width of the 95% confidence interval on the mean.
+fn ci95(s: &OnlineStats) -> f64 {
+    1.96 * s.stddev() / (s.count() as f64).sqrt()
+}
+
+fn tables_from_sweep(nic: NicKind, rows: &[Vec<PointRow>]) -> (Table, Table) {
     let mut goodput = Table::new(
         &format!("saturation-goodput-{}", nic.label()),
         "offered (Gbit/s)",
@@ -80,28 +86,55 @@ fn tables_from_sweep(
         "offered (Gbit/s)",
         "recovery latency (us)",
     );
-    for (x, ys) in rows {
-        goodput.push(
-            *x,
-            ys.iter()
-                .map(|(s, o)| (s.clone(), o.goodput_gbps))
-                .collect(),
-        );
+    for reps in rows {
+        let x = reps[0].0;
+        let multi = reps.len() > 1;
+        let mut g_ys = Vec::new();
+        let mut r_ys = Vec::new();
+        for (si, (name, _)) in reps[0].1.iter().enumerate() {
+            // Replications merge through `OnlineStats`; a single
+            // replication reproduces its sample bitwise (merging into an
+            // empty accumulator copies it), so `--reps 1` output is
+            // byte-identical to the pre-replication sweep.
+            let mut g = OnlineStats::new();
+            let mut r = OnlineStats::new();
+            for rep in reps {
+                let (s, o) = &rep.1[si];
+                debug_assert_eq!(s, name, "transport order is fixed across cells");
+                let mut one = OnlineStats::new();
+                one.push(o.goodput_gbps);
+                g.merge(&one);
+                let mut one = OnlineStats::new();
+                one.push(o.disabled_us);
+                r.merge(&one);
+            }
+            g_ys.push((name.clone(), g.mean()));
+            r_ys.push((name.clone(), r.mean()));
+            if multi {
+                g_ys.push((format!("{name} ±95%"), ci95(&g)));
+                r_ys.push((format!("{name} ±95%"), ci95(&r)));
+            }
+        }
+        goodput.push(x, g_ys);
         // Mean per-episode recovery latency: how long the PT stayed
         // disabled. Points that never tripped flow control report 0.
-        recovery.push(
-            *x,
-            ys.iter().map(|(s, o)| (s.clone(), o.disabled_us)).collect(),
-        );
+        recovery.push(x, r_ys);
     }
     (goodput, recovery)
 }
 
-/// All four saturation tables (goodput + recovery latency × NIC kind),
-/// running each simulation point exactly once.
-pub fn saturation_tables(quick: bool) -> Vec<Table> {
-    let (g_int, r_int) = tables_from_sweep(NicKind::Integrated, &sweep(NicKind::Integrated, quick));
-    let (g_dis, r_dis) = tables_from_sweep(NicKind::Discrete, &sweep(NicKind::Discrete, quick));
+/// All four saturation tables (goodput + recovery latency × NIC kind).
+/// Each point runs `reps` times through independent
+/// `(point, replication, seed)` cells; with `reps > 1` every series gains
+/// a `±95%` confidence-interval companion, with `reps = 1` the output is
+/// byte-identical to the single-run sweep.
+pub fn saturation_tables(quick: bool, reps: u32) -> Vec<Table> {
+    let (g_int, r_int) = tables_from_sweep(
+        NicKind::Integrated,
+        &sweep(NicKind::Integrated, quick, reps),
+    );
+    let (g_dis, r_dis) =
+        tables_from_sweep(NicKind::Discrete, &sweep(NicKind::Discrete, quick, reps));
     vec![g_int, g_dis, r_int, r_dis]
 }
 
@@ -114,7 +147,7 @@ mod tests {
         // One sweep feeds both tables (running it twice would double the
         // simulation cost for no coverage).
         let (goodput, recovery) =
-            tables_from_sweep(NicKind::Integrated, &sweep(NicKind::Integrated, true));
+            tables_from_sweep(NicKind::Integrated, &sweep(NicKind::Integrated, true, 1));
         // Under light load goodput tracks the offered load; past
         // saturation it stays within a band of the service capacity
         // (~32 Gbit/s at 2 us per 8 KiB message) instead of dropping
@@ -140,5 +173,42 @@ mod tests {
         assert!(spin > 0.0, "sPIN never recovered at {x} Gbit/s");
         assert!(rdma > 0.0, "RDMA never recovered at {x} Gbit/s");
         assert!(spin < rdma, "spin={spin}us rdma={rdma}us");
+    }
+
+    #[test]
+    fn replications_add_ci_series_and_preserve_single_run_rows() {
+        // Aggregation contract, on synthetic outcomes (no simulations):
+        // R > 1 adds a ±95% companion per series; R = 1 reproduces the
+        // sample bitwise with no companion.
+        fn outcome(goodput: f64, disabled: f64) -> saturate::SaturateOutcome {
+            saturate::SaturateOutcome {
+                sent: 1,
+                completed: 1,
+                duplicates: 0,
+                in_order: true,
+                offered_gbps: 1.0,
+                goodput_gbps: goodput,
+                flow_events: 0,
+                nacks: 0,
+                retransmits: 0,
+                held: 0,
+                reenables: 0,
+                recovered: 0,
+                recovery_latency_us: 0.0,
+                disabled_us: disabled,
+                end_us: 1.0,
+            }
+        }
+        let row = |g, d| (10.0, vec![("RDMA".to_string(), outcome(g, d))]);
+        let (goodput, recovery) =
+            tables_from_sweep(NicKind::Discrete, &[vec![row(4.0, 1.0), row(6.0, 3.0)]]);
+        assert_eq!(goodput.get(10.0, "RDMA"), Some(5.0));
+        // stddev of {4, 6} = sqrt(2): 1.96 * sqrt(2) / sqrt(2) = 1.96.
+        let ci = goodput.get(10.0, "RDMA ±95%").unwrap();
+        assert!((ci - 1.96).abs() < 1e-12, "ci={ci}");
+        assert_eq!(recovery.get(10.0, "RDMA"), Some(2.0));
+        let (goodput, _) = tables_from_sweep(NicKind::Discrete, &[vec![row(4.0, 1.0)]]);
+        assert_eq!(goodput.get(10.0, "RDMA"), Some(4.0));
+        assert_eq!(goodput.get(10.0, "RDMA ±95%"), None);
     }
 }

@@ -86,7 +86,7 @@ fn ablation_tables_quick() {
 
 #[test]
 fn saturation_tables_quick() {
-    for t in saturation::saturation_tables(true) {
+    for t in saturation::saturation_tables(true, 1) {
         assert_nontrivial(&t);
     }
 }

@@ -1,0 +1,437 @@
+//! Differential proof that batched same-time dispatch is observationally
+//! identical to the single-event reference engine.
+//!
+//! `Engine::run_batched` extracts same-time same-key **runs** from the
+//! queue and hands them to `BatchDispatch::dispatch_run`; the claim (on
+//! which the golden fingerprints rest, since batching is on by default)
+//! is that this is purely an execution strategy: event order, clock,
+//! executed count, and every model observable are bit-identical to
+//! `Engine::run`. This harness checks the claim at both layers:
+//!
+//! * **engine level** — randomized op programs (same-time bursts,
+//!   bucket-boundary ties at multiples of the calendar's 1024 ps initial
+//!   width, far-future jumps, one-instant storms) drive a synthetic
+//!   world whose hand-vectored `dispatch_run` consumes whole runs and
+//!   posts follow-ups mid-batch; traces must match the plain `Dispatch`
+//!   path on **both** queue backends, and the partial-consume `unpop`
+//!   contract is exercised directly;
+//! * **model level** — randomized many-node traffic (multi-packet puts
+//!   with acks, gets) runs through `SimBuilder::run_serial_batched` with
+//!   batching on/off crossed with `MachineConfig::pipelined_dma` on/off,
+//!   comparing full report fingerprints; a directed zero-occupancy
+//!   incast forces genuinely simultaneous same-message packet arrivals
+//!   so the vectored single-lookup path (and the `WriteRun` tail-append
+//!   DMA fast path) is driven end-to-end, not just in unit tests.
+//!
+//! Case count is `PROPTEST_CASES`-controlled (CI raises it).
+
+use proptest::collection;
+use proptest::prelude::*;
+use spin_core::config::{MachineConfig, NicKind};
+use spin_core::host::{HostApi, HostProgram, MeSpec, PutArgs};
+use spin_core::world::{Report, SimBuilder};
+use spin_sim::engine::{BatchDispatch, Dispatch, Engine, EventQueue, QueueBackend};
+use spin_sim::time::Time;
+
+// ---------------------------------------------------------------- engine
+
+/// One step of the interpreted seed program: an opcode plus two raw
+/// 64-bit operands the interpreter shapes into times and counts.
+type Op = (u8, u64, u64);
+
+/// Synthetic world: records every dispatch, posts deterministic
+/// follow-ups (including same-time posts from *inside* a draining batch),
+/// and consumes runs through a hand-vectored `dispatch_run` that must
+/// reproduce the reference order via the `begin_event` contract.
+#[derive(Default)]
+struct BatchWorld {
+    trace: Vec<(Time, u32)>,
+    /// Multi-element runs consumed (vacuity check for directed tests).
+    runs: u64,
+}
+
+impl BatchWorld {
+    fn handle(&mut self, q: &mut EventQueue<u32>, now: Time, ev: u32) {
+        self.trace.push((now, ev));
+        // Follow-ups only for first-generation events, so chains
+        // terminate. The `post_now` lands at the timestamp of the run
+        // being drained — the engine must dispatch it *after* the batch
+        // (its sequence number is higher), exactly as the reference
+        // engine would.
+        if ev < 1_000_000 {
+            if ev.is_multiple_of(5) {
+                q.post_in(Time::from_ns(u64::from(ev % 7) + 1), ev + 1_000_000);
+            }
+            if ev.is_multiple_of(3) {
+                q.post_now(ev + 2_000_000);
+            }
+        }
+    }
+}
+
+impl Dispatch<u32> for BatchWorld {
+    fn dispatch(&mut self, q: &mut EventQueue<u32>, now: Time, ev: u32) {
+        self.handle(q, now, ev);
+    }
+}
+
+impl BatchDispatch<u32> for BatchWorld {
+    /// Blocks of 16 consecutive ids share a key (so same-time bursts of
+    /// sequential posts form real runs); every seventh id never batches,
+    /// breaking runs at irregular points.
+    fn run_key(&self, ev: &u32) -> Option<u128> {
+        if ev.is_multiple_of(7) {
+            None
+        } else {
+            Some(u128::from(ev >> 4))
+        }
+    }
+
+    fn dispatch_run(&mut self, q: &mut EventQueue<u32>, batch: &mut Vec<(Time, u64, u32)>) {
+        self.runs += 1;
+        batch.reverse();
+        while let Some((t, _seq, ev)) = batch.pop() {
+            q.begin_event(t);
+            self.handle(q, t, ev);
+        }
+    }
+}
+
+/// Seed the queue per the op program, then run to quiescence through the
+/// chosen strategy, returning every observable.
+fn interpret(
+    backend: QueueBackend,
+    batched: bool,
+    ops: &[Op],
+) -> (Vec<(Time, u32)>, Time, u64, u64) {
+    let mut engine: Engine<u32> = Engine::with_backend(backend);
+    let mut next_ev = 0u32;
+    let mut ev = || {
+        next_ev += 1;
+        next_ev
+    };
+    for &(code, a, b) in ops {
+        match code % 6 {
+            // Same-time burst of sequential ids: contiguous same-key
+            // runs inside one bucket.
+            0 => {
+                for _ in 0..(a % 12 + 2) {
+                    engine.queue_mut().post_now(ev());
+                }
+            }
+            // Near-term post at an arbitrary sub-width offset.
+            1 => engine.queue_mut().post_at(Time::from_ps(a % 4096), ev()),
+            // Bucket-boundary ties: exact multiples of the calendar's
+            // initial width (1024 ps), ±1 ps.
+            2 => {
+                let base = (a % 64) * 1024;
+                let jitter = [0i64, 1, -1][(b % 3) as usize];
+                let t = (base as i64 + jitter).max(0) as u64;
+                engine.queue_mut().post_at(Time::from_ps(t), ev());
+            }
+            // Far-future jump: overflow parking and calendar jumps.
+            3 => engine
+                .queue_mut()
+                .post_at(Time::from_us((a % 4 + 1) * 1_000_000), ev()),
+            // One-instant storm: a pile of sequential ids at a single
+            // future timestamp — long runs, possibly across a resize.
+            4 => {
+                let t = Time::from_ps(a % 2_000_000);
+                for _ in 0..(b % 48 + 8) {
+                    engine.queue_mut().post_at(t, ev());
+                }
+            }
+            // Spread posts over a pseudorandom span.
+            _ => {
+                let mut x = b | 1;
+                for _ in 0..(a % 32 + 1) {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    engine.queue_mut().post_at(Time::from_ps(x % 500_000), ev());
+                }
+            }
+        }
+    }
+    let mut world = BatchWorld::default();
+    let end = if batched {
+        engine.run_batched(&mut world)
+    } else {
+        engine.run(&mut world)
+    };
+    (world.trace, end, engine.executed(), world.runs)
+}
+
+proptest! {
+    /// Randomized seed programs: the batched strategy reproduces the
+    /// reference dispatch trace, final clock, and executed count exactly,
+    /// on both queue backends.
+    #[test]
+    fn batched_dispatch_matches_reference(
+        ops in collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..30),
+    ) {
+        let (r_trace, r_end, r_exec, _) = interpret(QueueBackend::Calendar, false, &ops);
+        for backend in [QueueBackend::Calendar, QueueBackend::Heap] {
+            let (trace, end, exec, _) = interpret(backend, true, &ops);
+            prop_assert_eq!(end, r_end, "clock diverged on {:?}", backend);
+            prop_assert_eq!(exec, r_exec, "executed count diverged on {:?}", backend);
+            prop_assert_eq!(&trace, &r_trace, "dispatch order diverged on {:?}", backend);
+        }
+    }
+}
+
+/// Directed non-vacuity: a storm of same-time sequential posts must
+/// actually form multi-element runs (the property above would pass
+/// vacuously if `pop_run` only ever produced singletons).
+#[test]
+fn directed_storm_forms_runs_and_matches_reference() {
+    let ops: Vec<Op> = (0..12)
+        .map(|i| (4u8, 1024 * i as u64, 40))
+        .chain((0..4).map(|i| (0u8, 10 + i as u64, 0)))
+        .collect();
+    let (r_trace, r_end, r_exec, _) = interpret(QueueBackend::Calendar, false, &ops);
+    let (trace, end, exec, runs) = interpret(QueueBackend::Calendar, true, &ops);
+    assert_eq!((end, exec), (r_end, r_exec));
+    assert_eq!(trace, r_trace);
+    assert!(runs >= 12, "storm formed only {runs} multi-element runs");
+}
+
+/// The partial-consume contract: a `dispatch_run` that takes one element
+/// and hands the suffix back via `unpop` must still yield the reference
+/// order (the returned elements keep their sequence numbers and re-pop
+/// in their original positions).
+#[test]
+fn partial_consume_unpop_preserves_reference_order() {
+    #[derive(Default)]
+    struct FirstOnly {
+        trace: Vec<(Time, u32)>,
+    }
+    impl Dispatch<u32> for FirstOnly {
+        fn dispatch(&mut self, _q: &mut EventQueue<u32>, now: Time, ev: u32) {
+            self.trace.push((now, ev));
+        }
+    }
+    impl BatchDispatch<u32> for FirstOnly {
+        fn run_key(&self, _ev: &u32) -> Option<u128> {
+            Some(0)
+        }
+        fn dispatch_run(&mut self, q: &mut EventQueue<u32>, batch: &mut Vec<(Time, u64, u32)>) {
+            batch.reverse();
+            let (t, _seq, ev) = batch.pop().expect("runs are non-empty");
+            q.begin_event(t);
+            self.trace.push((t, ev));
+            while let Some((t, s, ev)) = batch.pop() {
+                q.unpop(t, s, ev);
+            }
+        }
+    }
+    let seed = |engine: &mut Engine<u32>| {
+        let mut id = 0;
+        for wave in 0..5u64 {
+            for _ in 0..7 {
+                engine.queue_mut().post_at(Time::from_ps(wave * 1024), id);
+                id += 1;
+            }
+        }
+    };
+    let mut reference: Engine<u32> = Engine::new();
+    seed(&mut reference);
+    let mut expect = Vec::new();
+    reference.run_with(|_, now, ev| expect.push((now, ev)));
+    let mut engine: Engine<u32> = Engine::new();
+    seed(&mut engine);
+    let mut world = FirstOnly::default();
+    engine.run_batched(&mut world);
+    assert_eq!(world.trace, expect);
+    assert_eq!(engine.executed(), reference.executed());
+}
+
+// ----------------------------------------------------------------- model
+
+const MTU: usize = 4096;
+const RECV_BASE: usize = 0x10_0000;
+const SEND_BASE: usize = 0x1000;
+const REPLY_BASE: usize = 0x30_0000;
+
+/// One planned operation of a traffic node.
+#[derive(Debug, Clone, Copy)]
+struct PlannedOp {
+    delay: Time,
+    dst: u32,
+    len: usize,
+    /// `put` with ack, plain `put`, or `get`.
+    kind: u8,
+}
+
+/// A rank that arms a receive ME, then fires its planned ops off timers.
+struct TrafficNode {
+    plan: Vec<PlannedOp>,
+}
+
+impl HostProgram for TrafficNode {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        api.me_append(MeSpec::recv(0, 1, (RECV_BASE, 1 << 17)));
+        let pattern: Vec<u8> = (0..3 * MTU + 99).map(|i| (i * 37 % 253) as u8).collect();
+        api.write_host(SEND_BASE, &pattern);
+        for (i, op) in self.plan.iter().enumerate() {
+            api.set_timer(op.delay, i as u64);
+        }
+        api.mark("armed");
+    }
+
+    fn on_timer(&mut self, token: u64, api: &mut HostApi<'_>) {
+        let op = self.plan[token as usize];
+        match op.kind {
+            0 => api.put(PutArgs::from_host(op.dst, 0, 1, SEND_BASE, op.len).with_ack()),
+            1 => api.put(PutArgs::from_host(op.dst, 0, 1, SEND_BASE, op.len)),
+            _ => api.get(
+                op.dst,
+                0,
+                1,
+                0,
+                op.len,
+                REPLY_BASE + token as usize * 0x2000,
+            ),
+        }
+    }
+
+    fn on_event(&mut self, ev: &spin_portals::eq::FullEvent, api: &mut HostApi<'_>) {
+        api.mark(format!("{:?}-p{}-m{}", ev.kind, ev.peer, ev.mlength));
+    }
+}
+
+/// Render every observable of a report into one stable string (the same
+/// shape the determinism goldens pin).
+fn fingerprint(r: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "end={} events={}", r.end_time.ps(), r.events_executed).unwrap();
+    for (rank, label, t) in &r.marks {
+        writeln!(out, "mark r{rank} {label} @{}", t.ps()).unwrap();
+    }
+    for (rank, label, v) in &r.values {
+        writeln!(out, "value r{rank} {label} = {v}").unwrap();
+    }
+    for (i, s) in r.node_stats.iter().enumerate() {
+        writeln!(out, "node{i} {s:?}").unwrap();
+    }
+    writeln!(out, "net packets={} bytes={}", r.net_packets, r.net_bytes).unwrap();
+    out
+}
+
+/// Shape raw proptest words into per-rank plans for an `n`-node world.
+fn plans_from(n: u32, specs: &[(u8, u64, u64)]) -> Vec<Vec<PlannedOp>> {
+    let mut plans: Vec<Vec<PlannedOp>> = (0..n).map(|_| Vec::new()).collect();
+    for &(sel, a, b) in specs {
+        let src = u32::from(sel) % n;
+        let dst = (src + 1 + (a % u64::from(n - 1)) as u32) % n;
+        let kind = (b % 5).min(2) as u8; // bias toward puts
+        let len = match kind {
+            2 => 1 + (b % 2048) as usize, // gets stay single-packet
+            _ => 1 + (b % (2 * MTU as u64 + 600)) as usize,
+        };
+        plans[src as usize].push(PlannedOp {
+            delay: Time::from_ns(a % 15_000),
+            dst,
+            len,
+            kind,
+        });
+    }
+    plans
+}
+
+fn run_case(config: MachineConfig, plans: &[Vec<PlannedOp>], batched: bool) -> Report {
+    SimBuilder::new(config)
+        .nodes_with(plans.len() as u32, |r| {
+            Box::new(TrafficNode {
+                plan: plans[r as usize].clone(),
+            })
+        })
+        .run_serial_batched(batched)
+        .report
+}
+
+proptest! {
+    /// Randomized traffic: batched vs single-event serial engine, crossed
+    /// with the pipelined-DMA charge model on/off — all four full-report
+    /// fingerprints identical.
+    #[test]
+    fn batched_serial_engine_matches_reference_bit_for_bit(
+        n in 4u32..9,
+        specs in collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..12),
+    ) {
+        let plans = plans_from(n, &specs);
+        let case = |pipelined: bool, batched: bool| {
+            let mut config = MachineConfig::paper(NicKind::Integrated);
+            config.net.switch_ports = 4; // multi-level tree even at small n
+            config.pipelined_dma = pipelined;
+            fingerprint(&run_case(config, &plans, batched))
+        };
+        let reference = case(true, false);
+        prop_assert_eq!(&case(false, false), &reference, "pipelined flag leaked into reference path");
+        prop_assert_eq!(&case(true, true), &reference, "batched+pipelined diverged");
+        prop_assert_eq!(&case(false, true), &reference, "batched per-packet DMA diverged");
+    }
+}
+
+/// Directed worst case for the vectored path: with zero per-packet
+/// occupancy (`g = 0`, `G = 0`) the ingress link no longer serializes, so
+/// every follow-on packet of a multi-packet message arrives at the *same
+/// instant* — the one situation the coarse run key turns into uniform
+/// `(node, msg)` runs that take the single-lookup vectored body and, with
+/// `pipelined_dma`, the `WriteRun` tail-append DMA fast path. An incast
+/// (five senders, one victim, same nanosecond) stacks several such runs
+/// at one timestamp; reports must stay bit-identical to the single-event
+/// engine with the charge model crossed both ways.
+#[test]
+fn zero_occupancy_incast_drives_vectored_path_bit_for_bit() {
+    let n = 6u32;
+    let plans: Vec<Vec<PlannedOp>> = (0..n)
+        .map(|r| {
+            if r == 0 {
+                Vec::new()
+            } else {
+                vec![
+                    PlannedOp {
+                        delay: Time::from_ns(1_000),
+                        dst: 0,
+                        len: 3 * MTU + 321, // 4 packets: header + 3 follow-ons
+                        kind: 0,
+                    },
+                    PlannedOp {
+                        delay: Time::from_ns(2_500),
+                        dst: 0,
+                        len: 2 * MTU + 17,
+                        kind: 2, // get: multi-packet reply stream back
+                    },
+                ]
+            }
+        })
+        .collect();
+    let case = |pipelined: bool, batched: bool| {
+        let mut config = MachineConfig::paper(NicKind::Integrated);
+        config.net.switch_ports = 4;
+        config.net.g = Time::ZERO;
+        config.net.big_g = spin_sim::time::BytesPerTime::from_ps_per_byte(0);
+        config.pipelined_dma = pipelined;
+        run_case(config, &plans, batched)
+    };
+    let reference = fingerprint(&case(true, false));
+    assert_eq!(
+        fingerprint(&case(true, true)),
+        reference,
+        "vectored pipelined run diverged"
+    );
+    assert_eq!(
+        fingerprint(&case(false, true)),
+        reference,
+        "vectored per-packet run diverged"
+    );
+    // Not vacuous: the incast actually moved multi-packet traffic.
+    let report = case(true, true);
+    assert!(
+        report.net_packets >= 30,
+        "incast sent only {} packets",
+        report.net_packets
+    );
+}

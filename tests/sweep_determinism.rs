@@ -32,7 +32,7 @@ fn parallel_sweep_json_is_byte_identical_to_serial() {
             fig3::pingpong_table(NicKind::Integrated, true),
             fig3::accumulate_table(true),
         ];
-        tables.extend(saturation::saturation_tables(true));
+        tables.extend(saturation::saturation_tables(true, 1));
         serde_json::to_string_pretty(&tables).expect("tables serialize")
     };
 
