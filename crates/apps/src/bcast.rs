@@ -208,7 +208,13 @@ pub fn latency_us(out: &SimOutput, bytes: usize, p: u32) -> f64 {
 }
 
 /// Run and return the full output.
-pub fn run_full(mut config: MachineConfig, mode: BcastMode, bytes: usize, p: u32) -> SimOutput {
+pub fn run_full(config: MachineConfig, mode: BcastMode, bytes: usize, p: u32) -> SimOutput {
+    builder(config, mode, bytes, p).run()
+}
+
+/// Build the broadcast world (root rank 0, `p - 1` receiving ranks)
+/// without running it. Sizes host memory for the payload.
+pub fn builder(mut config: MachineConfig, mode: BcastMode, bytes: usize, p: u32) -> SimBuilder {
     assert!(p >= 2);
     config.host.mem_size = (bytes.max(4096) + 4096).next_power_of_two();
     let mut b = SimBuilder::new(config).add_node(Box::new(Root { bytes, p }));
@@ -219,7 +225,7 @@ pub fn run_full(mut config: MachineConfig, mode: BcastMode, bytes: usize, p: u32
             BcastMode::Spin => b.add_node(Box::new(SpinRank { bytes, p })),
         };
     }
-    b.run()
+    b
 }
 
 #[cfg(test)]

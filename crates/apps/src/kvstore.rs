@@ -156,27 +156,44 @@ impl HostProgram for Client {
 /// Run an insert workload: `n` random pairs over `servers` nodes with
 /// `slots` slots each. Returns the output for inspection.
 pub fn run_inserts(
-    mut config: MachineConfig,
+    config: MachineConfig,
     servers: u32,
     slots: u64,
     n: usize,
     seed: u64,
 ) -> (SimOutput, Vec<(u64, u64)>) {
-    config.host.mem_size = (slots as usize * SLOT_LEN + 8192).next_power_of_two();
+    let pairs = random_pairs(n, seed);
+    (builder(config, servers, slots, pairs.clone()).run(), pairs)
+}
+
+/// Deterministic insert workload: `n` random (key, value) pairs.
+pub fn random_pairs(n: usize, seed: u64) -> Vec<(u64, u64)> {
     let mut rng = SimRng::seeded(seed);
     let mut pairs = Vec::with_capacity(n);
     for _ in 0..n {
         // Nonzero keys so "empty" (key 0) is unambiguous.
         pairs.push((rng.range(1, 1 << 40), rng.below(1 << 40)));
     }
+    pairs
+}
+
+/// Build the key-value world (client rank 0, `servers` server ranks)
+/// without running it. Sizes host memory for the table.
+pub fn builder(
+    mut config: MachineConfig,
+    servers: u32,
+    slots: u64,
+    pairs: Vec<(u64, u64)>,
+) -> SimBuilder {
+    config.host.mem_size = (slots as usize * SLOT_LEN + 8192).next_power_of_two();
     let mut b = SimBuilder::new(config).add_node(Box::new(Client {
-        pairs: pairs.clone(),
+        pairs,
         nodes: servers,
     }));
     for _ in 0..servers {
         b = b.add_node(Box::new(Server { slots }));
     }
-    (b.run(), pairs)
+    b
 }
 
 /// Read back a server's table as (state, key, value) triples.

@@ -21,14 +21,20 @@
 //!   suppression;
 //! * [`txlog`] — §5.4: distributed-transaction access logging;
 //! * [`saturate`] — incast overload driving the §3.2 flow-control recovery
-//!   handshake closed-loop (beyond the paper's own figure set).
+//!   handshake closed-loop (beyond the paper's own figure set);
+//! * [`gather`] — multi-hop gather + stride-ring exchange (the fat-tree
+//!   golden scenario, parameterized for the scenario compiler);
+//! * [`incast`] — sustained multi-round incast (the sharding benchmark
+//!   scenario, parameterized for the scenario compiler).
 
 pub mod accumulate;
 pub mod bcast;
 pub mod condread;
 pub mod datatypes;
 pub mod ftbcast;
+pub mod gather;
 pub mod graph;
+pub mod incast;
 pub mod kvstore;
 pub mod matching;
 pub mod pingpong;

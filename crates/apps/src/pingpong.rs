@@ -221,12 +221,19 @@ pub fn run(config: MachineConfig, mode: PingPongMode, bytes: usize, rounds: u32)
 }
 
 /// Run and return the full simulation output (tests inspect memory/stats).
-pub fn run_full(
+pub fn run_full(config: MachineConfig, mode: PingPongMode, bytes: usize, rounds: u32) -> SimOutput {
+    builder(config, mode, bytes, rounds).run()
+}
+
+/// Build the two-node ping-pong world (client rank 0, server rank 1)
+/// without running it, so callers can pick the engine (or embed it in a
+/// scenario). Sizes host memory for the payload.
+pub fn builder(
     mut config: MachineConfig,
     mode: PingPongMode,
     bytes: usize,
     rounds: u32,
-) -> SimOutput {
+) -> SimBuilder {
     config.host.mem_size = (PONG_OFF + bytes.max(4096)) * 2;
     let mtu = config.net.mtu;
     let client = Client {
@@ -253,7 +260,6 @@ pub fn run_full(
     SimBuilder::new(config)
         .add_node(Box::new(client))
         .add_node(server)
-        .run()
 }
 
 #[cfg(test)]

@@ -370,7 +370,13 @@ impl RaidWorkload {
 }
 
 /// Run a RAID workload; returns the full output.
-pub fn run_full(mut config: MachineConfig, mode: RaidMode, w: &RaidWorkload) -> SimOutput {
+pub fn run_full(config: MachineConfig, mode: RaidMode, w: &RaidWorkload) -> SimOutput {
+    builder(config, mode, w).run()
+}
+
+/// Build the RAID world (client, parity server, `data_servers` data
+/// servers) without running it. Sizes host memory for the block regions.
+pub fn builder(mut config: MachineConfig, mode: RaidMode, w: &RaidWorkload) -> SimBuilder {
     config.host.mem_size = (STAGE_OFF + 2 * w.block_len + 8192).next_power_of_two();
     let mut b = SimBuilder::new(config).add_node(Box::new(Client {
         mode,
@@ -399,7 +405,7 @@ pub fn run_full(mut config: MachineConfig, mode: RaidMode, w: &RaidWorkload) -> 
             })),
         };
     }
-    b.run()
+    b
 }
 
 /// Completion time in µs: first post → all acks received.

@@ -261,7 +261,18 @@ impl HostProgram for SpinReceiver {
 /// Run one saturation configuration. Set `config.recovery` (e.g. via
 /// [`MachineConfig::with_recovery`]) to close the loop; leave it `None`
 /// for the stall-at-first-`PtDisabled` baseline.
-pub fn run(mut config: MachineConfig, mode: SaturateMode, params: SaturateParams) -> SimOutput {
+pub fn run(config: MachineConfig, mode: SaturateMode, params: SaturateParams) -> SimOutput {
+    builder(config, mode, params).run()
+}
+
+/// Build the saturation world (receiver rank 0, `params.senders` sender
+/// ranks) without running it. Shapes the config into the scarce-resource
+/// §3.2 overload conditions (one host core, one HPU core, small CAM).
+pub fn builder(
+    mut config: MachineConfig,
+    mode: SaturateMode,
+    params: SaturateParams,
+) -> SimBuilder {
     config.host.mem_size = (RECV_BASE + (RDMA_SLOTS + 1) * params.bytes)
         .next_power_of_two()
         .max(1 << 20);
@@ -296,7 +307,6 @@ pub fn run(mut config: MachineConfig, mode: SaturateMode, params: SaturateParams
                 seq: 0,
             })
         })
-        .run()
 }
 
 /// Run and distill the outcome (completion accounting + recovery metrics).

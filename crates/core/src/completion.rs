@@ -100,7 +100,8 @@ impl World {
                     // dropped so it can keep its side effects idempotent
                     // across the retransmit.)
                     if self.config.recovery.is_some() {
-                        self.nodes[n as usize].nic.stats.nacks_sent += 1;
+                        let nic = &mut self.nodes[n as usize].nic;
+                        nic.stats.nacks_sent += 1;
                         crate::recovery::post_nack(
                             q,
                             end,
@@ -108,6 +109,7 @@ impl World {
                             ch.header.source_id,
                             ch.pt,
                             ch.src_msg_id,
+                            &mut nic.recovery,
                         );
                     }
                 }

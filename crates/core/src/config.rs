@@ -3,6 +3,8 @@
 use spin_hpu::dma::DmaParams;
 use spin_hpu::pool::HpuConfig;
 use spin_net::params::NetParams;
+use spin_net::transfer::Network;
+use spin_net::TopologySpec;
 use spin_sim::noise::NoiseModel;
 use spin_sim::time::{BytesPerTime, Time};
 
@@ -90,6 +92,13 @@ pub struct RecoveryConfig {
     /// `NicStats::recovery_abandoned`). Bounds the retry loop so a target
     /// that never re-enables cannot keep the simulation alive forever.
     pub max_probes: u32,
+    /// Adaptive probing: the receiver remembers every initiator it NACKed
+    /// while a PT was disabled and sends each a `PtReenabled` notification
+    /// when the entry re-enables; the notified sender probes immediately.
+    /// Recovering senders then back off to `max_backoff` straight away
+    /// (the timer is only a fallback), replacing blind exponential probing
+    /// — fewer wasted probes at the same delivered-message count.
+    pub notify_reenable: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -100,7 +109,106 @@ impl Default for RecoveryConfig {
             drain_interval: Time::from_ns(200),
             reenable_guard: Time::from_us(2),
             max_probes: 64,
+            notify_reenable: false,
         }
+    }
+}
+
+/// Additive impairment applied to every message crossing one directed
+/// link class (scenario "bad cable" / "congested uplink" modelling).
+///
+/// All stochastic draws come from a per-`(src, dst)` RNG stream derived
+/// from the machine seed, advanced once per message in source-side inject
+/// order — node-local order is identical on the serial and sharded
+/// engines, so impaired runs stay bit-identical at any shard count. One
+/// draw set covers the whole message (all its packets shift together), so
+/// impairments can never reorder a message's follow-on packets ahead of
+/// its header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkImpairment {
+    /// Fixed extra propagation latency.
+    pub latency: Time,
+    /// Uniform jitter in `[0, jitter]`, drawn per message.
+    pub jitter: Time,
+    /// Probability that a message is lost in the fabric, drawn per
+    /// attempt. Lost messages still occupy the source egress link (the
+    /// bytes were transmitted) but never reach the destination; the loss
+    /// surfaces to the sender as a `PtDisabled` NACK, driving the §3.2
+    /// recovery machinery (backoff → probe → replay). Requires
+    /// [`MachineConfig::recovery`]: only recovery-tracked messages
+    /// (Put/Atomic/Get) are ever dropped — acks and replies are carried
+    /// on the reliable control plane.
+    pub loss: f64,
+    /// Mean of an exponential extra queueing delay modelling background
+    /// traffic sharing the link (0 = none), drawn per message.
+    pub background: Time,
+}
+
+impl Default for LinkImpairment {
+    fn default() -> Self {
+        LinkImpairment {
+            latency: Time::ZERO,
+            jitter: Time::ZERO,
+            loss: 0.0,
+            background: Time::ZERO,
+        }
+    }
+}
+
+impl LinkImpairment {
+    /// Whether this impairment changes anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.latency == Time::ZERO
+            && self.jitter == Time::ZERO
+            && self.loss <= 0.0
+            && self.background == Time::ZERO
+    }
+}
+
+/// One impairment rule: applies to messages from `src` to `dst`, where
+/// `None` is a wildcard. Loopback (`src == dst`) traffic is never
+/// impaired — it does not cross the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpairmentRule {
+    /// Source endpoint, `None` = any.
+    pub src: Option<u32>,
+    /// Destination endpoint, `None` = any.
+    pub dst: Option<u32>,
+    /// The impairment applied when this rule matches.
+    pub effect: LinkImpairment,
+}
+
+impl ImpairmentRule {
+    fn matches(&self, src: u32, dst: u32) -> bool {
+        self.src.is_none_or(|s| s == src) && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
+/// Link impairments of one machine: an ordered rule list, first match
+/// wins (so specific pair rules are written before wildcard fallbacks).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ImpairmentConfig {
+    /// Rules, checked in order.
+    pub rules: Vec<ImpairmentRule>,
+}
+
+impl ImpairmentConfig {
+    /// The effect applied to `src → dst` traffic, if any rule matches.
+    /// Loopback is exempt regardless of rules.
+    pub fn effect(&self, src: u32, dst: u32) -> Option<LinkImpairment> {
+        if src == dst {
+            return None;
+        }
+        self.rules
+            .iter()
+            .find(|r| r.matches(src, dst))
+            .map(|r| r.effect)
+            .filter(|e| !e.is_noop())
+    }
+
+    /// Whether any rule can drop messages (requires recovery).
+    pub fn any_loss(&self) -> bool {
+        self.rules.iter().any(|r| r.effect.loss > 0.0)
     }
 }
 
@@ -125,6 +233,11 @@ pub struct MachineConfig {
     pub noise: Option<NoiseModel>,
     /// Closed-loop flow-control recovery (None = manual `PtlPTEnable`).
     pub recovery: Option<RecoveryConfig>,
+    /// Network topology (None = the default fat tree over
+    /// `net.switch_ports`-radix switches, sized to the node count).
+    pub topology: Option<TopologySpec>,
+    /// Per-link impairments (None = an ideal fabric).
+    pub impairments: Option<ImpairmentConfig>,
     /// Record Gantt timelines (costs memory; for examples/debugging).
     pub record_gantt: bool,
     /// Charge a batched same-destination packet run's delivery DMA as one
@@ -151,6 +264,8 @@ impl MachineConfig {
             num_pts: 8,
             noise: None,
             recovery: None,
+            topology: None,
+            impairments: None,
             record_gantt: false,
             pipelined_dma: true,
             seed: 0xC0FFEE,
@@ -169,6 +284,49 @@ impl MachineConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Select an explicit network topology. The spec's node count must
+    /// match the simulation's node count (checked in
+    /// [`MachineConfig::build_network`]).
+    pub fn with_topology(mut self, spec: TopologySpec) -> Self {
+        self.topology = Some(spec);
+        self
+    }
+
+    /// Install per-link impairments. Rules with loss require recovery
+    /// (checked at network-build time).
+    pub fn with_impairments(mut self, imp: ImpairmentConfig) -> Self {
+        self.impairments = Some(imp);
+        self
+    }
+
+    /// Build the network fabric for an `n`-node simulation: the explicit
+    /// [`MachineConfig::topology`] when one is set, else the default fat
+    /// tree. Both the serial engine's world and the sharded engine's
+    /// ledger construct their network through this, so they cannot
+    /// disagree on the fabric (and therefore on the lookahead δ).
+    pub fn build_network(&self, n: u32) -> Network {
+        if let Some(imp) = &self.impairments {
+            assert!(
+                !imp.any_loss() || self.recovery.is_some(),
+                "lossy impairments require closed-loop recovery \
+                 (MachineConfig::with_recovery): a lost message surfaces as \
+                 a PtDisabled NACK, which only the recovery machinery handles"
+            );
+        }
+        match &self.topology {
+            Some(spec) => {
+                assert_eq!(
+                    spec.nodes(),
+                    n,
+                    "topology spec declares {} endpoints but the simulation has {n} nodes",
+                    spec.nodes()
+                );
+                Network::with_topology(spec.build(), self.net)
+            }
+            None => Network::new(n, self.net),
+        }
     }
 
     /// Discrete-NIC paper configuration.
@@ -196,5 +354,78 @@ mod tests {
         let c = MachineConfig::integrated();
         assert_eq!(c.nic.dma_params().latency, Time::from_ns(50));
         assert!((c.host.mem_bandwidth.gib_per_sec() - 150.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn impairment_rules_first_match_wins_and_loopback_is_exempt() {
+        let specific = LinkImpairment {
+            latency: Time::from_ns(500),
+            ..LinkImpairment::default()
+        };
+        let blanket = LinkImpairment {
+            jitter: Time::from_ns(10),
+            ..LinkImpairment::default()
+        };
+        let imp = ImpairmentConfig {
+            rules: vec![
+                ImpairmentRule {
+                    src: Some(0),
+                    dst: Some(1),
+                    effect: specific,
+                },
+                ImpairmentRule {
+                    src: None,
+                    dst: None,
+                    effect: blanket,
+                },
+            ],
+        };
+        assert_eq!(imp.effect(0, 1), Some(specific));
+        assert_eq!(imp.effect(1, 0), Some(blanket));
+        assert_eq!(imp.effect(2, 2), None, "loopback never impaired");
+        // A matching no-op rule shades later rules but applies nothing.
+        let shadow = ImpairmentConfig {
+            rules: vec![ImpairmentRule {
+                src: Some(3),
+                dst: None,
+                effect: LinkImpairment::default(),
+            }],
+        };
+        assert_eq!(shadow.effect(3, 4), None);
+    }
+
+    #[test]
+    fn build_network_uses_explicit_topology() {
+        let c = MachineConfig::discrete().with_topology(TopologySpec::Torus { dims: vec![4, 2] });
+        let net = c.build_network(8);
+        assert_eq!(net.nodes(), 8);
+        // 2 hops max in a 4x2 torus; the default fat tree for 8 nodes on
+        // 36-port switches would route everything through one switch.
+        assert_eq!(net.topology().route_switches(0, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "8 endpoints")]
+    fn build_network_rejects_node_count_mismatch() {
+        MachineConfig::discrete()
+            .with_topology(TopologySpec::Torus { dims: vec![8] })
+            .build_network(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "require closed-loop recovery")]
+    fn lossy_impairments_require_recovery() {
+        MachineConfig::discrete()
+            .with_impairments(ImpairmentConfig {
+                rules: vec![ImpairmentRule {
+                    src: None,
+                    dst: None,
+                    effect: LinkImpairment {
+                        loss: 0.1,
+                        ..LinkImpairment::default()
+                    },
+                }],
+            })
+            .build_network(2);
     }
 }

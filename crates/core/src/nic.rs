@@ -178,6 +178,9 @@ pub struct NicStats {
     pub pt_reenables: u64,
     /// Aggregate time (ns) PTs spent disabled before automatic re-enable.
     pub pt_disabled_ns: f64,
+    /// `PtReenabled` notifications sent to NACKed initiators (adaptive
+    /// probing, `RecoveryConfig::notify_reenable`).
+    pub reenable_notifies_sent: u64,
 }
 
 /// The NIC runtime.

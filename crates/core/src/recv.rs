@@ -53,6 +53,13 @@ impl World {
             );
             return;
         }
+        if pkt.header.ack_type == PtlAckType::PtReenabled {
+            // Adaptive probing: the target's PT re-enabled — probe the
+            // recovering pair now instead of waiting out the fallback
+            // backoff timer.
+            self.on_reenable_notify(q, now, n, pkt.header.source_id, pkt.header.pt_index);
+            return;
+        }
         // Transport-level delivery confirmation: retire in-flight recovery
         // state; an acked probe releases the in-order replay of the queue.
         // Replays inject at `now`: the pair is Idle from this instant, so
@@ -147,6 +154,7 @@ impl World {
                         hdr.source_id,
                         hdr.pt_index,
                         pkt.msg_id,
+                        &mut nic.recovery,
                     );
                 }
                 if let Some(at) = nic.recovery.note_pt_disabled(match_done, hdr.pt_index) {
@@ -170,6 +178,7 @@ impl World {
                         hdr.source_id,
                         hdr.pt_index,
                         pkt.msg_id,
+                        &mut nic.recovery,
                     );
                 }
             }
@@ -274,6 +283,7 @@ impl World {
                             hdr.source_id,
                             hdr.pt_index,
                             msg_id,
+                            ctx.recovery,
                         );
                     }
                     let ev =
@@ -294,6 +304,7 @@ impl World {
                             hdr.source_id,
                             hdr.pt_index,
                             msg_id,
+                            ctx.recovery,
                         );
                     }
                     return;
@@ -398,6 +409,7 @@ impl World {
                         hdr.source_id,
                         hdr.pt_index,
                         msg_id,
+                        ctx.recovery,
                     );
                 }
                 let ev = FullEvent::simple(EventKind::PtDisabled, hdr.source_id, hdr.match_bits, 0);

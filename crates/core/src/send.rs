@@ -114,7 +114,44 @@ impl World {
         };
         let params = self.config.net;
         let total = params.packets_for(wire_len) as u32;
+        // Per-link impairment: one draw set covers the whole message — all
+        // its packets shift together, so follow-ons can never overtake the
+        // header. Draw order is fixed (loss, then jitter, then background;
+        // only parameters > 0 draw at all, and a lost message consumes no
+        // further draws) from the `(src, dst)` stream in source-side inject
+        // order, which is engine-invariant — impaired runs stay
+        // bit-identical at any shard count.
+        let mut lost = false;
+        let mut extra = Time::ZERO;
+        if let Some(effect) = self
+            .config
+            .impairments
+            .as_ref()
+            .and_then(|imp| imp.effect(msg.src, msg.dst))
+        {
+            // Only recovery-tracked messages (Put/Atomic/Get) can drop:
+            // acks and replies ride the reliable control plane, so the
+            // protocol cannot deadlock on a lost confirmation.
+            if effect.loss > 0.0 && self.nodes[n as usize].nic.recovery.is_tracked(msg.msg_id) {
+                lost = self.link_rng(msg.src, msg.dst).chance(effect.loss);
+            }
+            if !lost {
+                extra = effect.latency;
+                if effect.jitter > Time::ZERO {
+                    let j = self
+                        .link_rng(msg.src, msg.dst)
+                        .below(effect.jitter.ps() + 1);
+                    extra += Time::from_ps(j);
+                }
+                if effect.background > Time::ZERO {
+                    let mean = effect.background.ps() as f64;
+                    let b = self.link_rng(msg.src, msg.dst).exponential(mean);
+                    extra += Time::from_ps(b as u64);
+                }
+            }
+        }
         let mut off = 0usize;
+        let mut last_tx_end = ready;
         for i in 0..total {
             let size = params.packet_size(wire_len, i as usize);
             let pkt = Packet {
@@ -126,7 +163,18 @@ impl World {
                 payload: full.slice(off, size),
                 header: Arc::clone(&header),
             };
-            if self.deferred_wire {
+            if lost {
+                // The bytes were transmitted — the source egress link is
+                // occupied as usual — but the fabric never delivers them:
+                // no ingress reservation, no fabric counters, no target
+                // state. Works identically under the sharded engine (the
+                // egress half is src-local and no WireSend is emitted).
+                let (tx_start, tx_end) = self.network.egress_phase(ready, msg.src, size);
+                self.gantt.record(n, "NIC", tx_start, tx_end, '=', || {
+                    format!("tx m{} p{} (lost)", msg.msg_id, i)
+                });
+                last_tx_end = tx_end;
+            } else if self.deferred_wire {
                 // Sharded engine: only the egress half runs here (it is
                 // `src`-local); the ingress reservation belongs to the
                 // coordinator's ledger network, which replays it in global
@@ -140,8 +188,21 @@ impl World {
                 self.gantt.record(n, "NIC", tx_start, tx_end, '=', || {
                     format!("tx m{} p{}", msg.msg_id, i)
                 });
-                let head_at_dst = tx_start + self.network.base_latency(msg.src, msg.dst);
+                let head_at_dst = tx_start + self.network.base_latency(msg.src, msg.dst) + extra;
                 q.post_at(head_at_dst, Ev::WireSend(msg.dst, Box::new(pkt)));
+            } else if extra > Time::ZERO {
+                // Impaired serial path: the split-phase composition is
+                // bit-identical to `send_packet` (pinned by the net test
+                // `phase_split_composes_to_send_packet`), with the extra
+                // delay inserted between the halves — exactly where the
+                // sharded engine inserts it.
+                let (tx_start, tx_end) = self.network.egress_phase(ready, msg.src, size);
+                self.gantt.record(n, "NIC", tx_start, tx_end, '=', || {
+                    format!("tx m{} p{}", msg.msg_id, i)
+                });
+                let head_at_dst = tx_start + self.network.base_latency(msg.src, msg.dst) + extra;
+                let arrival = self.network.ingress_phase(head_at_dst, msg.dst, size);
+                q.post_at(arrival, Ev::PacketArrive(msg.dst, Box::new(pkt)));
             } else {
                 let timing = self.network.send_packet(ready, msg.src, msg.dst, size);
                 self.gantt
@@ -151,6 +212,40 @@ impl World {
                 q.post_at(timing.arrival, Ev::PacketArrive(msg.dst, Box::new(pkt)));
             }
             off += size;
+        }
+        if lost {
+            self.nodes[n as usize].nic.stats.packets_dropped += total as u64;
+            // Surface the loss to the sender as a §3.2 `PtDisabled` NACK —
+            // the same control message a flow-control bounce produces — so
+            // the existing backoff/probe/replay machinery retransmits the
+            // message in order. The NACK is synthesized source-locally
+            // (the fabric carried nothing to the target): it lands one
+            // round trip after the last byte left, pays no link occupancy,
+            // and is invisible to the ledger and the fabric counters.
+            let nack_at = last_tx_end + self.network.base_latency(msg.src, msg.dst) * 2;
+            let nack_header = Arc::new(PtlHeader {
+                op: OpKind::Ack,
+                length: 0,
+                target_id: msg.src,
+                source_id: msg.dst,
+                match_bits: 0,
+                offset: 0,
+                hdr_data: msg.msg_id,
+                user_hdr: Default::default(),
+                pt_index: msg.pt,
+                ack_req: AckReq::None,
+                ack_type: PtlAckType::PtDisabled,
+            });
+            let nack = Packet {
+                msg_id: 0,
+                index: 0,
+                total: 1,
+                offset: 0,
+                attempt: 0,
+                payload: Bytes::new(),
+                header: nack_header,
+            };
+            q.post_at(nack_at, Ev::PacketArrive(n, Box::new(nack)));
         }
     }
 

@@ -36,7 +36,6 @@
 
 use crate::world::{Ev, Node, NodeStats, Report, SimBuilder, SimOutput, World};
 use rayon::prelude::*;
-use spin_net::transfer::Network;
 use spin_sim::engine::EventQueue;
 use spin_sim::gantt::Gantt;
 use spin_sim::shard::ShardQueue;
@@ -151,7 +150,7 @@ pub(crate) fn run_sharded(builder: SimBuilder, k: usize) -> SimOutput {
     // The ledger network replays every ingress reservation in global merge
     // order; it is also the authority for fabric-wide packet/byte counters
     // and the lookahead.
-    let mut ledger = Network::new(n, config.net);
+    let mut ledger = config.build_network(n);
     let delta = ledger.min_lookahead();
     assert!(
         delta > Time::ZERO,
@@ -286,6 +285,7 @@ pub(crate) fn run_sharded(builder: SimBuilder, k: usize) -> SimOutput {
         gantt,
         marks: Vec::new(),
         values: Vec::new(),
+        link_rngs: HashMap::new(),
         deferred_wire: false,
     };
     SimOutput { report, world }

@@ -31,8 +31,9 @@ use spin_portals::types::{OpKind, Packet};
 use spin_sim::engine::{BatchDispatch, Dispatch, Engine, EventQueue};
 use spin_sim::gantt::Gantt;
 use spin_sim::noise::NoiseSource;
-use spin_sim::rng::SimRng;
+use spin_sim::rng::{cell_seed, SimRng};
 use spin_sim::time::Time;
+use std::collections::HashMap;
 
 /// One simulated endpoint: host CPU model, NIC runtime, host DRAM.
 pub struct Node {
@@ -91,6 +92,12 @@ pub struct World {
     pub gantt: Gantt,
     pub(crate) marks: Vec<(u32, String, Time)>,
     pub(crate) values: Vec<(u32, String, f64)>,
+    /// Per-link impairment RNG streams, lazily created, keyed `(src, dst)`.
+    /// Each stream is coordinate-addressed from the machine seed and
+    /// advanced once per message in source-side inject order — node-local
+    /// order is engine-invariant, so impaired runs are bit-identical on
+    /// the serial and sharded engines.
+    pub(crate) link_rngs: HashMap<(u32, u32), SimRng>,
     /// Sharded engine only: when set, `inject` stops at the egress phase
     /// and posts [`Ev::WireSend`] instead of reserving the destination
     /// ingress link itself (which belongs to the coordinator's ledger).
@@ -115,7 +122,7 @@ impl World {
             })
             .collect();
         World {
-            network: Network::new(n, config.net),
+            network: config.build_network(n),
             gantt: if config.record_gantt {
                 Gantt::enabled()
             } else {
@@ -125,8 +132,24 @@ impl World {
             nodes,
             marks: Vec::new(),
             values: Vec::new(),
+            link_rngs: HashMap::new(),
             deferred_wire: false,
         }
+    }
+
+    /// The impairment RNG stream of the directed link `src → dst`,
+    /// created on first use. The seed depends only on the machine seed and
+    /// the pair coordinates (salted away from the noise streams), never on
+    /// creation order.
+    pub(crate) fn link_rng(&mut self, src: u32, dst: u32) -> &mut SimRng {
+        let seed = cell_seed(
+            self.config.seed ^ 0x4C49_4E4B_5247_4E47, // "LINKRGNG" salt
+            src as u64,
+            dst as u64,
+        );
+        self.link_rngs
+            .entry((src, dst))
+            .or_insert_with(|| SimRng::seeded(seed))
     }
 
     /// Split-borrow node `n` for the packet path: the channel CAM, the

@@ -20,5 +20,6 @@ fn main() {
         ablation::handler_cost_table(opts.quick),
     ];
     tables.extend(saturation::saturation_tables(opts.quick, opts.reps));
+    tables.extend(noise_figures::noise_tables(opts.quick, opts.reps));
     emit(opts, &tables);
 }

@@ -1,0 +1,10 @@
+//! OS-noise KV figure: per-insert latency over workload size for three
+//! noise signatures (use --reps for mean ± 95% CI).
+use spin_experiments::{emit, noise_figures, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(
+        opts,
+        &[noise_figures::noise_kv_table(opts.quick, opts.reps)],
+    );
+}

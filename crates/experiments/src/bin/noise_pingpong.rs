@@ -1,0 +1,10 @@
+//! OS-noise ping-pong figure: half RTT over message size, RDMA vs sPIN
+//! streaming, quiet and under daemon noise (use --reps for mean ± 95% CI).
+use spin_experiments::{emit, noise_figures, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(
+        opts,
+        &[noise_figures::noise_pingpong_table(opts.quick, opts.reps)],
+    );
+}

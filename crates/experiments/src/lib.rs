@@ -15,8 +15,10 @@
 //! | [`table5`]  | Table 5c application speedups |
 //! | [`spc`]     | §5.3 SPC trace replay |
 //! | [`ablation`]| HPU count / yield-on-DMA / handler-cost ablations |
+//! | [`noise_figures`] | OS-noise exposure: ping-pong + KV latency, quiet vs noisy (beyond the paper) |
 //! | [`saturation`] | closed-loop overload: goodput + recovery latency (beyond the paper) |
 //! | [`sharding`] | large-world incast scenario driving the sharded parallel engine (beyond the paper) |
+//! | [`scenario_runner`] | declarative scenario files (`spin-scenario` binary) through the sweep harness |
 
 use spin_sim::stats::Table;
 
@@ -26,7 +28,9 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig5b;
 pub mod fig7;
+pub mod noise_figures;
 pub mod saturation;
+pub mod scenario_runner;
 pub mod sharding;
 pub mod spc;
 pub mod sweep;

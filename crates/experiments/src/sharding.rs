@@ -11,117 +11,22 @@
 //! cross-pod ring (so every shard both sends and receives across shard
 //! boundaries in every window).
 //!
-//! The scenario is pure spin-core programs: the same builder runs on the
-//! serial engine or on any shard count, and [`digest`] folds the full
-//! report into one number so callers can assert the two engines agree
+//! The programs live in [`spin_apps::incast`] (shared with the scenario
+//! compiler); this module fixes the machine shape. The same builder runs
+//! on the serial engine or on any shard count, and [`digest`] folds the
+//! full report into one number so callers can assert the two engines agree
 //! bit-for-bit while timing them.
 
 use spin_core::config::{MachineConfig, NicKind};
-use spin_core::host::{HostApi, HostProgram, MeSpec, PutArgs};
 use spin_core::world::{Report, SimBuilder};
-use spin_sim::time::Time;
-
-const MTU: usize = 4096;
-const RING_TAG: u64 = 0x5249_4e47; // "RING"
-const RING_DST: usize = 0x9_0000;
-const SEND_SRC: usize = 0x1000;
-
-/// Gather region for sender `r` at the root (8 KiB per sender: exactly the
-/// two-packet message the leaves send).
-fn gather_region(r: u32) -> (usize, usize) {
-    (0x1_0000 + r as usize * 0x2000, 0x2000)
-}
-
-/// Gather root: one ME per sender per round, plus the ring ME.
-struct IncastRoot {
-    senders: u32,
-    rounds: u32,
-}
-
-impl HostProgram for IncastRoot {
-    fn on_start(&mut self, api: &mut HostApi<'_>) {
-        for r in 1..=self.senders {
-            for _ in 0..self.rounds {
-                api.me_append(MeSpec::recv(0, u64::from(r), gather_region(r)));
-            }
-        }
-        for _ in 0..self.rounds {
-            // Leaf 1's ring put lands here once per round; MEs are
-            // use-once, so arm one per round.
-            api.me_append(MeSpec::recv(0, RING_TAG, (RING_DST, 0x1000)));
-        }
-        api.mark("root-armed");
-    }
-
-    fn on_event(&mut self, ev: &spin_portals::eq::FullEvent, api: &mut HostApi<'_>) {
-        api.mark(format!("root-{:?}-p{}-m{}", ev.kind, ev.peer, ev.mlength));
-    }
-}
-
-/// A leaf: `rounds` two-packet acked puts at the root plus one ring put
-/// per round, spread over timers so traffic overlaps across windows.
-struct IncastLeaf {
-    rounds: u32,
-}
-
-impl HostProgram for IncastLeaf {
-    fn on_start(&mut self, api: &mut HostApi<'_>) {
-        let me = api.rank();
-        for _ in 0..self.rounds {
-            // One ring put arrives from the successor each round; MEs are
-            // use-once.
-            api.me_append(MeSpec::recv(0, RING_TAG, (RING_DST, 0x1000)));
-        }
-        let len = 2 * MTU;
-        let pattern: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
-        api.write_host(SEND_SRC, &pattern);
-        // Stagger by rank and round, but coarsely (many same-instant
-        // collisions survive), so each conservative window holds work for
-        // every shard and the root ingress sees sustained incast. The base
-        // offset leaves room for the root's O(senders·rounds) charged
-        // `me_append` calls to complete: headers arriving before an ME's
-        // charged completion miss it, and a match miss disables the PT
-        // (Portals flow control).
-        for round in 0..self.rounds {
-            let at = Time::from_ns(50_000 + u64::from(round) * 5_000 + u64::from(me % 4) * 250);
-            api.set_timer(at, u64::from(round));
-        }
-    }
-
-    fn on_timer(&mut self, _round: u64, api: &mut HostApi<'_>) {
-        let me = api.rank();
-        let n = api.nprocs();
-        let len = 2 * MTU;
-        api.put(PutArgs::from_host(0, 0, u64::from(me), SEND_SRC, len).with_ack());
-        // Stride past the pod (16 endpoints at radix 8), so the ring
-        // always crosses pod boundaries — and shard boundaries, for every
-        // contiguous partition of more than one shard.
-        let peer = (me + 17) % n;
-        if peer != me {
-            api.put(
-                PutArgs::from_host(peer, 0, RING_TAG, SEND_SRC, 256).with_hdr_data(u64::from(me)),
-            );
-        }
-    }
-
-    fn on_event(&mut self, ev: &spin_portals::eq::FullEvent, api: &mut HostApi<'_>) {
-        api.mark(format!("leaf-{:?}-p{}-m{}", ev.kind, ev.peer, ev.mlength));
-    }
-}
 
 /// The incast world: `n` endpoints on a radix-8 fat tree (3 levels from
 /// 17 endpoints up: leaves of 4, pods of 16).
 pub fn incast_builder(n: u32, rounds: u32) -> SimBuilder {
-    assert!(n >= 2, "incast needs a root and at least one leaf");
     let mut config = MachineConfig::paper(NicKind::Integrated);
     config.net.switch_ports = 8;
     config.host.mem_size = 1 << 20;
-    SimBuilder::new(config)
-        .add_node(Box::new(IncastRoot {
-            senders: n - 1,
-            rounds,
-        }))
-        .nodes_with(n - 1, move |_| Box::new(IncastLeaf { rounds }))
+    spin_apps::incast::builder(config, n, 0, rounds)
 }
 
 /// Scenario size for the benchmark: (nodes, rounds).

@@ -8,7 +8,9 @@
 //! `emit` path.
 
 use spin_core::config::NicKind;
-use spin_experiments::{ablation, fig3, fig4, fig5, fig5b, fig7, saturation, spc, table5};
+use spin_experiments::{
+    ablation, fig3, fig4, fig5, fig5b, fig7, noise_figures, saturation, spc, table5,
+};
 use spin_sim::stats::Table;
 use std::process::Command;
 
@@ -91,6 +93,13 @@ fn saturation_tables_quick() {
     }
 }
 
+#[test]
+fn noise_tables_quick() {
+    for t in noise_figures::noise_tables(true, 1) {
+        assert_nontrivial(&t);
+    }
+}
+
 // ------------------------------------------------------- binary execution
 
 /// Run one compiled experiment binary with `--quick` and sanity-check its
@@ -139,6 +148,8 @@ binary_smoke! {
     bin_table_spc => "CARGO_BIN_EXE_table_spc",
     bin_ablation_hpus => "CARGO_BIN_EXE_ablation_hpus",
     bin_saturation => "CARGO_BIN_EXE_saturation",
+    bin_noise_pingpong => "CARGO_BIN_EXE_noise_pingpong",
+    bin_noise_kv => "CARGO_BIN_EXE_noise_kv",
 }
 
 #[test]
@@ -202,6 +213,77 @@ fn jobs_flag_matches_serial_output_and_rejects_garbage() {
         stderr.contains("--jobs"),
         "stderr names the bad arg: {stderr}"
     );
+}
+
+#[test]
+fn bin_spin_scenario_runs_corpus_files_and_prints_digests() {
+    // Test cwd is the crate directory, so corpus paths go via the repo
+    // root. The digest capture lines land on stderr; tables on stdout.
+    let out = Command::new(env!("CARGO_BIN_EXE_spin-scenario"))
+        .args([
+            "../../scenarios/fat_tree_golden.json",
+            "../../scenarios/fat_tree_saturate_loss.json",
+        ])
+        .output()
+        .expect("spawn spin-scenario");
+    assert!(
+        out.status.success(),
+        "spin-scenario failed; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# scenario-fat-tree-golden"), "{stdout}");
+    assert!(
+        stdout.contains("# scenario-fat-tree-saturate-loss"),
+        "{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("digest 0xc168fc2e110a6a9b"),
+        "golden digest line missing: {stderr}"
+    );
+}
+
+#[test]
+fn bin_spin_scenario_reps_output_is_jobs_invariant() {
+    // A replicated, jitter-impaired scenario sweep must emit the same
+    // bytes at any worker count (cell seeds are position-derived).
+    let args = |jobs: &'static str| {
+        [
+            "../../scenarios/dragonfly_pingpong_jitter.json",
+            "--reps",
+            "3",
+            "--jobs",
+            jobs,
+            "--json",
+        ]
+    };
+    let serial = run_binary(env!("CARGO_BIN_EXE_spin-scenario"), &args("1"));
+    let parallel = run_binary(env!("CARGO_BIN_EXE_spin-scenario"), &args("4"));
+    assert!(serial == parallel, "--jobs changed the emitted bytes");
+    assert!(serial.contains("±95%"), "reps>1 output lacks CI series");
+}
+
+#[test]
+fn bin_spin_scenario_fails_loudly_on_a_digest_mismatch() {
+    let path = std::env::temp_dir().join("spin-scenario-smoke-mismatch.json");
+    std::fs::write(
+        &path,
+        r#"{
+          "name": "mismatch",
+          "topology": {"FatTree": {"nodes": 4, "ports": 4}},
+          "workload": {"Gather": {"put_bytes": 1024, "ring_bytes": 64, "stride": 1}},
+          "expect": {"digest": "0x1"}
+        }"#,
+    )
+    .expect("write temp scenario");
+    let out = Command::new(env!("CARGO_BIN_EXE_spin-scenario"))
+        .arg(&path)
+        .output()
+        .expect("spawn spin-scenario");
+    assert!(!out.status.success(), "digest mismatch exited zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pinned 0x1"), "stderr: {stderr}");
 }
 
 #[test]

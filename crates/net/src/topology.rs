@@ -1,27 +1,101 @@
-//! Fat-tree topology built from fixed-radix switches (§4.2: "We construct a
-//! fat tree network from 36-port switches").
+//! Network topologies built from fixed-radix switches.
 //!
-//! The topology's only job in the LogGOPS model is to answer "how many
+//! A topology's only job in the LogGOPS model is to answer "how many
 //! switches does the route from `a` to `b` cross?", from which the latency
-//! `L` follows. We build the classic folded-Clos construction:
+//! `L` follows. Three families are supported:
 //!
-//! * up to `k` nodes: a single switch (1 switch on every route);
-//! * up to `k²/2` nodes: two-level leaf–spine, `k/2` nodes per leaf
-//!   (1 switch within a leaf, 3 across);
-//! * up to `k³/4` nodes: three-level fat tree with pods of `k/2` leaves
-//!   (1 / 3 / 5 switches for same-leaf / same-pod / cross-pod routes).
+//! * **Fat tree** (§4.2: "We construct a fat tree network from 36-port
+//!   switches") — the classic folded-Clos construction:
+//!   * up to `k` nodes: a single switch (1 switch on every route);
+//!   * up to `k²/2` nodes: two-level leaf–spine, `k/2` nodes per leaf
+//!     (1 switch within a leaf, 3 across);
+//!   * up to `k³/4` nodes: three-level fat tree with pods of `k/2` leaves
+//!     (1 / 3 / 5 switches for same-leaf / same-pod / cross-pod routes).
+//! * **Dragonfly** — groups of routers with all-to-all local links and
+//!   all-to-all global links between groups. Minimal routing crosses
+//!   1 switch on the same router, 2 within a group, and 4 across groups
+//!   (source router, source-side gateway, destination-side gateway,
+//!   destination router).
+//! * **Torus** — a k-ary n-cube with one router per node; a minimal route
+//!   crosses `manhattan-with-wraparound distance + 1` routers.
+//!
+//! Node ids map onto the structure densely: fat-tree leaves, dragonfly
+//! routers, and torus coordinates are all filled in id order (dimension 0
+//! fastest for the torus).
 
 use serde::{Deserialize, Serialize};
 
 /// Index of a network endpoint (one NIC+host pair).
 pub type NodeId = u32;
 
-/// A fat-tree topology instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// A topology instance: endpoint count plus the routing structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Topology {
     nodes: u32,
-    ports: u32,
-    levels: u32,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Kind {
+    FatTree {
+        ports: u32,
+        levels: u32,
+    },
+    Dragonfly {
+        groups: u32,
+        routers_per_group: u32,
+        nodes_per_router: u32,
+    },
+    Torus {
+        dims: Vec<u32>,
+    },
+}
+
+/// Declarative description of a topology, as a scenario file states it.
+/// [`TopologySpec::build`] turns it into a [`Topology`]; the node count is
+/// implied (fat tree states it, dragonfly and torus derive it from their
+/// dimensions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// Smallest fat tree of `ports`-radix switches connecting `nodes`.
+    FatTree { nodes: u32, ports: u32 },
+    /// `groups × routers_per_group × nodes_per_router` dragonfly.
+    Dragonfly {
+        groups: u32,
+        routers_per_group: u32,
+        nodes_per_router: u32,
+    },
+    /// k-ary n-cube with `dims[i]` routers along dimension `i`.
+    Torus { dims: Vec<u32> },
+}
+
+impl TopologySpec {
+    /// Endpoint count this spec produces.
+    pub fn nodes(&self) -> u32 {
+        match self {
+            TopologySpec::FatTree { nodes, .. } => *nodes,
+            TopologySpec::Dragonfly {
+                groups,
+                routers_per_group,
+                nodes_per_router,
+            } => groups * routers_per_group * nodes_per_router,
+            TopologySpec::Torus { dims } => dims.iter().product(),
+        }
+    }
+
+    /// Instantiate the topology (panics on invalid dimensions, like the
+    /// underlying constructors).
+    pub fn build(&self) -> Topology {
+        match self {
+            TopologySpec::FatTree { nodes, ports } => Topology::fat_tree(*nodes, *ports),
+            TopologySpec::Dragonfly {
+                groups,
+                routers_per_group,
+                nodes_per_router,
+            } => Topology::dragonfly(*groups, *routers_per_group, *nodes_per_router),
+            TopologySpec::Torus { dims } => Topology::torus(dims.clone()),
+        }
+    }
 }
 
 impl Topology {
@@ -51,8 +125,54 @@ impl Topology {
         };
         Topology {
             nodes,
-            ports,
-            levels,
+            kind: Kind::FatTree { ports, levels },
+        }
+    }
+
+    /// Build a dragonfly of `groups` groups, each holding
+    /// `routers_per_group` routers with `nodes_per_router` endpoints; the
+    /// endpoint count is exactly the product.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn dragonfly(groups: u32, routers_per_group: u32, nodes_per_router: u32) -> Self {
+        assert!(
+            groups >= 1 && routers_per_group >= 1 && nodes_per_router >= 1,
+            "dragonfly dimensions must all be at least 1"
+        );
+        let nodes = groups
+            .checked_mul(routers_per_group)
+            .and_then(|n| n.checked_mul(nodes_per_router))
+            .expect("dragonfly size overflows u32");
+        Topology {
+            nodes,
+            kind: Kind::Dragonfly {
+                groups,
+                routers_per_group,
+                nodes_per_router,
+            },
+        }
+    }
+
+    /// Build a torus (k-ary n-cube) with `dims[i]` routers along dimension
+    /// `i` and one endpoint per router; ids map to coordinates with
+    /// dimension 0 varying fastest.
+    ///
+    /// # Panics
+    /// Panics on an empty dimension list or a zero-sized dimension.
+    pub fn torus(dims: Vec<u32>) -> Self {
+        assert!(!dims.is_empty(), "torus needs at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d >= 1),
+            "torus dimensions must all be at least 1"
+        );
+        let nodes = dims
+            .iter()
+            .try_fold(1u32, |acc, &d| acc.checked_mul(d))
+            .expect("torus size overflows u32");
+        Topology {
+            nodes,
+            kind: Kind::Torus { dims },
         }
     }
 
@@ -61,26 +181,39 @@ impl Topology {
         self.nodes
     }
 
-    /// Number of tree levels (1, 2, or 3).
+    /// Number of tree levels (1, 2, or 3). Fat tree only.
     pub fn levels(&self) -> u32 {
-        self.levels
-    }
-
-    /// Endpoints attached to each leaf switch (`k` for 1 level, `k/2` above).
-    pub fn nodes_per_leaf(&self) -> u32 {
-        if self.levels == 1 {
-            self.ports
-        } else {
-            self.ports / 2
+        match &self.kind {
+            Kind::FatTree { levels, .. } => *levels,
+            other => panic!("levels() is fat-tree-specific, topology is {other:?}"),
         }
     }
 
-    /// Endpoints per pod (only meaningful at 3 levels: `(k/2)²`).
+    /// Endpoints attached to each leaf switch (`k` for 1 level, `k/2`
+    /// above). Fat tree only.
+    pub fn nodes_per_leaf(&self) -> u32 {
+        match &self.kind {
+            Kind::FatTree { ports, levels } => {
+                if *levels == 1 {
+                    *ports
+                } else {
+                    *ports / 2
+                }
+            }
+            other => panic!("nodes_per_leaf() is fat-tree-specific, topology is {other:?}"),
+        }
+    }
+
+    /// Endpoints per pod (only meaningful at 3 levels: `(k/2)²`). Fat tree
+    /// only.
     pub fn nodes_per_pod(&self) -> u32 {
-        match self.levels {
-            1 => self.nodes,
-            2 => self.nodes, // a 2-level tree is a single "pod"
-            _ => (self.ports / 2) * (self.ports / 2),
+        match &self.kind {
+            Kind::FatTree { ports, levels } => match levels {
+                1 => self.nodes,
+                2 => self.nodes, // a 2-level tree is a single "pod"
+                _ => (*ports / 2) * (*ports / 2),
+            },
+            other => panic!("nodes_per_pod() is fat-tree-specific, topology is {other:?}"),
         }
     }
 
@@ -91,25 +224,57 @@ impl Topology {
         if a == b {
             return 0;
         }
-        let leaf_a = a / self.nodes_per_leaf();
-        let leaf_b = b / self.nodes_per_leaf();
-        if leaf_a == leaf_b {
-            return 1;
-        }
-        if self.levels == 2 {
-            return 3;
-        }
-        let pod_a = a / self.nodes_per_pod();
-        let pod_b = b / self.nodes_per_pod();
-        if pod_a == pod_b {
-            3
-        } else {
-            5
+        match &self.kind {
+            Kind::FatTree { levels, .. } => {
+                let leaf_a = a / self.nodes_per_leaf();
+                let leaf_b = b / self.nodes_per_leaf();
+                if leaf_a == leaf_b {
+                    return 1;
+                }
+                if *levels == 2 {
+                    return 3;
+                }
+                let pod_a = a / self.nodes_per_pod();
+                let pod_b = b / self.nodes_per_pod();
+                if pod_a == pod_b {
+                    3
+                } else {
+                    5
+                }
+            }
+            Kind::Dragonfly {
+                routers_per_group,
+                nodes_per_router,
+                ..
+            } => {
+                let router_a = a / nodes_per_router;
+                let router_b = b / nodes_per_router;
+                if router_a == router_b {
+                    return 1;
+                }
+                if router_a / routers_per_group == router_b / routers_per_group {
+                    2
+                } else {
+                    4
+                }
+            }
+            Kind::Torus { dims } => {
+                let mut dist = 0u32;
+                let (mut ra, mut rb) = (a, b);
+                for &d in dims {
+                    let (ca, cb) = (ra % d, rb % d);
+                    let gap = ca.abs_diff(cb);
+                    dist += gap.min(d - gap);
+                    ra /= d;
+                    rb /= d;
+                }
+                dist + 1
+            }
         }
     }
 
     /// The fewest switches any route between two *distinct* endpoints
-    /// crosses — the closest pair in the tree. Combined with the latency
+    /// crosses — the closest pair in the fabric. Combined with the latency
     /// model this bounds how early any packet can arrive anywhere, which
     /// is the conservative-parallel engine's lookahead.
     ///
@@ -121,28 +286,62 @@ impl Topology {
             "no distinct node pair in a {}-node topology",
             self.nodes
         );
-        if self.nodes_per_leaf() >= 2 {
-            1
-        } else if self.levels == 2 || self.nodes_per_pod() >= 2 {
-            3
-        } else {
-            5
+        match &self.kind {
+            Kind::FatTree { levels, .. } => {
+                if self.nodes_per_leaf() >= 2 {
+                    1
+                } else if *levels == 2 || self.nodes_per_pod() >= 2 {
+                    3
+                } else {
+                    5
+                }
+            }
+            Kind::Dragonfly {
+                routers_per_group,
+                nodes_per_router,
+                ..
+            } => {
+                // Every router is fully populated (the constructor sizes
+                // the node count as the exact product), so the closest
+                // pair shares a router iff routers hold more than one
+                // node, and a group iff groups hold more than one router.
+                if *nodes_per_router >= 2 {
+                    1
+                } else if *routers_per_group >= 2 {
+                    2
+                } else {
+                    4
+                }
+            }
+            // Any fabric with >= 2 nodes has a pair adjacent along some
+            // dimension: distance 1, two routers.
+            Kind::Torus { .. } => 2,
         }
     }
 
     /// Total number of switches in the fabric (for reporting).
     pub fn switch_count(&self) -> u32 {
-        let k = self.ports;
-        match self.levels {
-            1 => 1,
-            2 => {
-                let leaves = self.nodes.div_ceil(k / 2);
-                leaves + leaves.div_ceil(2).max(1)
+        match &self.kind {
+            Kind::FatTree { ports, levels } => {
+                let k = *ports;
+                match levels {
+                    1 => 1,
+                    2 => {
+                        let leaves = self.nodes.div_ceil(k / 2);
+                        leaves + leaves.div_ceil(2).max(1)
+                    }
+                    _ => {
+                        let pods = self.nodes.div_ceil(self.nodes_per_pod());
+                        pods * k + (k / 2) * (k / 2)
+                    }
+                }
             }
-            _ => {
-                let pods = self.nodes.div_ceil(self.nodes_per_pod());
-                pods * k + (k / 2) * (k / 2)
-            }
+            Kind::Dragonfly {
+                groups,
+                routers_per_group,
+                ..
+            } => groups * routers_per_group,
+            Kind::Torus { .. } => self.nodes,
         }
     }
 }
@@ -208,25 +407,81 @@ mod tests {
     }
 
     #[test]
+    fn dragonfly_route_classes() {
+        // 3 groups × 4 routers × 2 nodes = 24 endpoints.
+        let t = Topology::dragonfly(3, 4, 2);
+        assert_eq!(t.nodes(), 24);
+        assert_eq!(t.switch_count(), 12);
+        assert_eq!(t.route_switches(3, 3), 0);
+        // Nodes 0 and 1 share router 0.
+        assert_eq!(t.route_switches(0, 1), 1);
+        // Nodes 0 and 2 are on routers 0 and 1, both in group 0.
+        assert_eq!(t.route_switches(0, 2), 2);
+        // Node 8 is on router 4, the first router of group 1.
+        assert_eq!(t.route_switches(0, 8), 4);
+        assert_eq!(t.min_route_switches(), 1);
+    }
+
+    #[test]
+    fn torus_routes_are_wraparound_manhattan() {
+        // 4 × 3 torus, id = x + 4*y.
+        let t = Topology::torus(vec![4, 3]);
+        assert_eq!(t.nodes(), 12);
+        assert_eq!(t.switch_count(), 12);
+        assert_eq!(t.route_switches(0, 0), 0);
+        // (0,0) -> (1,0): one hop.
+        assert_eq!(t.route_switches(0, 1), 2);
+        // (0,0) -> (3,0): wraps to one hop.
+        assert_eq!(t.route_switches(0, 3), 2);
+        // (0,0) -> (2,0): two hops.
+        assert_eq!(t.route_switches(0, 2), 3);
+        // (0,0) -> (2,1): 2 + 1 hops.
+        assert_eq!(t.route_switches(0, 6), 4);
+        // (0,0) -> (0,2): wraps to one hop in y.
+        assert_eq!(t.route_switches(0, 8), 2);
+        assert_eq!(t.min_route_switches(), 2);
+    }
+
+    #[test]
     fn min_route_switches_matches_closest_pair() {
         // Exhaustively confirm against brute force on assorted shapes,
-        // including degenerate radix-2 trees whose leaves hold one node.
-        for (nodes, ports) in [
-            (2u32, 36u32),
-            (36, 36),
-            (64, 36),
-            (1024, 36),
-            (12, 4),
-            (4, 3), // 2 levels, 1 node per leaf: closest pair crosses 3
-            (5, 3), // 3 levels, 1 node per leaf and pod: every route is 5
-        ] {
-            let t = Topology::fat_tree(nodes, ports);
+        // including degenerate radix-2 trees whose leaves hold one node,
+        // skinny dragonflies, and 1-wide torus dimensions.
+        let shapes: Vec<Topology> = vec![
+            Topology::fat_tree(2, 36),
+            Topology::fat_tree(36, 36),
+            Topology::fat_tree(64, 36),
+            Topology::fat_tree(1024, 36),
+            Topology::fat_tree(12, 4),
+            Topology::fat_tree(4, 3), // 2 levels, 1 node per leaf: closest pair crosses 3
+            Topology::fat_tree(5, 3), // 3 levels, 1 node per leaf and pod: every route is 5
+            Topology::dragonfly(3, 4, 2),
+            Topology::dragonfly(4, 3, 1), // closest pair shares only a group
+            Topology::dragonfly(5, 1, 1), // every distinct pair crosses groups
+            Topology::dragonfly(1, 3, 2), // single group
+            Topology::torus(vec![4, 3]),
+            Topology::torus(vec![2]),
+            Topology::torus(vec![1, 5]),
+            Topology::torus(vec![3, 3, 3]),
+        ];
+        for t in shapes {
+            let nodes = t.nodes();
             let brute = (0..nodes)
                 .flat_map(|a| (0..nodes).filter(move |&b| b != a).map(move |b| (a, b)))
                 .map(|(a, b)| t.route_switches(a, b))
                 .min()
                 .unwrap();
-            assert_eq!(t.min_route_switches(), brute, "nodes={nodes} ports={ports}");
+            assert_eq!(t.min_route_switches(), brute, "topology {t:?}");
+        }
+    }
+
+    #[test]
+    fn non_fat_tree_routes_are_symmetric() {
+        for t in [Topology::dragonfly(3, 3, 2), Topology::torus(vec![4, 5])] {
+            let n = t.nodes();
+            for (a, b) in [(0u32, 1), (0, n - 1), (2, n / 2), (n / 3, n - 2)] {
+                assert_eq!(t.route_switches(a, b), t.route_switches(b, a), "{t:?}");
+            }
         }
     }
 
@@ -241,5 +496,25 @@ mod tests {
         assert_eq!(Topology::fat_tree(30, 36).switch_count(), 1);
         assert!(Topology::fat_tree(648, 36).switch_count() >= 36);
         assert!(Topology::fat_tree(1024, 36).switch_count() > 100);
+    }
+
+    #[test]
+    fn spec_builds_each_family() {
+        let spec = TopologySpec::FatTree {
+            nodes: 12,
+            ports: 4,
+        };
+        assert_eq!(spec.nodes(), 12);
+        assert_eq!(spec.build(), Topology::fat_tree(12, 4));
+        let spec = TopologySpec::Dragonfly {
+            groups: 2,
+            routers_per_group: 3,
+            nodes_per_router: 4,
+        };
+        assert_eq!(spec.nodes(), 24);
+        assert_eq!(spec.build(), Topology::dragonfly(2, 3, 4));
+        let spec = TopologySpec::Torus { dims: vec![4, 4] };
+        assert_eq!(spec.nodes(), 16);
+        assert_eq!(spec.build(), Topology::torus(vec![4, 4]));
     }
 }

@@ -36,9 +36,18 @@ pub struct Network {
 }
 
 impl Network {
-    /// A network of `nodes` endpoints with the given parameters.
+    /// A network of `nodes` endpoints with the given parameters, on the
+    /// default fabric: the smallest fat tree of `params.switch_ports`-radix
+    /// switches.
     pub fn new(nodes: u32, params: NetParams) -> Self {
         let topo = Topology::fat_tree(nodes, params.switch_ports as u32);
+        Network::with_topology(topo, params)
+    }
+
+    /// A network over an explicit topology (dragonfly, torus, or a
+    /// non-default fat tree). `Network::new` is the fat-tree special case.
+    pub fn with_topology(topo: Topology, params: NetParams) -> Self {
+        let nodes = topo.nodes();
         Network {
             params,
             topo,

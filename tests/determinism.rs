@@ -374,66 +374,15 @@ fn golden_scenarios_exercise_every_delivery_mode() {
 // 2, pods of 4) and drives traffic across all three route classes —
 // same-leaf, same-pod, and cross-pod — so the golden pins the multi-hop
 // latency model (per-switch traversal + per-cable propagation) together
-// with the incast ingress serialization at the gather root.
-
-/// Gather root: one ME per sender, plus the neighbor-exchange ME.
-struct FatTreeRoot;
-
-/// Gather region for sender `r` at the root.
-fn gather_region(r: u32) -> (usize, usize) {
-    (0x1_0000 + r as usize * 0x2000, 0x2000)
-}
-
-const XCHG_TAG: u64 = 99;
-const XCHG_DST: usize = 0x8_0000;
-
-impl HostProgram for FatTreeRoot {
-    fn on_start(&mut self, api: &mut HostApi<'_>) {
-        for r in 1..api.nprocs() {
-            api.me_append(MeSpec::recv(0, r as u64, gather_region(r)));
-        }
-        api.me_append(MeSpec::recv(0, XCHG_TAG, (XCHG_DST, 0x1000)));
-        api.mark("root-armed");
-    }
-
-    fn on_event(&mut self, ev: &spin_portals::eq::FullEvent, api: &mut HostApi<'_>) {
-        api.mark(format!("root-{:?}-p{}-m{}", ev.kind, ev.peer, ev.mlength));
-    }
-}
-
-/// Every non-root rank: post the exchange ME, send a multi-packet acked
-/// put to the root, and a small put to the rank 5 ahead (mod n) — a stride
-/// larger than the pod, so the exchange ring crosses pods.
-struct FatTreeLeaf;
-
-impl HostProgram for FatTreeLeaf {
-    fn on_start(&mut self, api: &mut HostApi<'_>) {
-        let me = api.rank();
-        let n = api.nprocs();
-        api.me_append(MeSpec::recv(0, XCHG_TAG, (XCHG_DST, 0x1000)));
-        let len = MTU + 1904; // two packets
-        let pattern: Vec<u8> = (0..len).map(|i| (i * 13 % 239) as u8).collect();
-        api.write_host(mem::SEND_SRC, &pattern);
-        api.put(PutArgs::from_host(0, 0, me as u64, mem::SEND_SRC, len).with_ack());
-        api.put(
-            PutArgs::from_host((me + 5) % n, 0, XCHG_TAG, mem::SEND_SRC, 256)
-                .with_hdr_data(me as u64),
-        );
-    }
-
-    fn on_event(&mut self, ev: &spin_portals::eq::FullEvent, api: &mut HostApi<'_>) {
-        api.mark(format!("leaf-{:?}-p{}-m{}", ev.kind, ev.peer, ev.mlength));
-    }
-}
+// with the incast ingress serialization at the gather root. The programs
+// live in `spin_apps::gather` (shared with the scenario compiler, whose
+// equivalence suite pins the same golden hash from a declarative config).
 
 fn fat_tree_scenario() -> spin_core::world::SimOutput {
     let mut config = MachineConfig::paper(NicKind::Integrated);
     config.net.switch_ports = 4; // 3 levels at 12 nodes: leaves of 2, pods of 4
     config.host.mem_size = 1 << 20;
-    SimBuilder::new(config)
-        .add_node(Box::new(FatTreeRoot))
-        .nodes_with(11, |_| Box::new(FatTreeLeaf))
-        .run()
+    spin_apps::gather::builder(config, 12, 0, MTU + 1904, 256, 5).run()
 }
 
 #[test]

@@ -2,10 +2,21 @@
 //!
 //! The container has no network access to crates.io, so this crate provides
 //! the subset of serde this workspace uses: `#[derive(Serialize,
-//! Deserialize)]` on plain structs and fieldless enums, feeding a small
-//! JSON-like [`Value`] tree that `serde_json` renders. Unlike the real
-//! serde's visitor architecture, [`Serialize`] simply builds a [`Value`];
-//! that is all the experiment harness needs for `--json` output.
+//! Deserialize)]` on structs and enums, feeding a small JSON-like [`Value`]
+//! tree that `serde_json` renders and parses. Unlike the real serde's
+//! visitor architecture, [`Serialize`] simply builds a [`Value`] and
+//! [`Deserialize`] reads one back; that is all the experiment harness and
+//! the scenario compiler need.
+//!
+//! Derive support (see `vendor/serde_derive`):
+//!
+//! * named-field structs — JSON objects; unknown keys are rejected with an
+//!   error naming the offending key, `#[serde(default)]` fields may be
+//!   absent,
+//! * tuple structs — JSON arrays (single-field and `#[serde(transparent)]`
+//!   structs map to the inner value),
+//! * enums — unit variants as strings, data-carrying variants externally
+//!   tagged as `{"Variant": ...}`.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -30,17 +41,92 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Human-readable name of this value's JSON type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) => "unsigned integer",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up a key in an object (`None` for other kinds or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message naming the type, field,
+/// or variant that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
 /// Types that can serialize themselves into a [`Value`] tree.
 pub trait Serialize {
     /// Build the value tree for `self`.
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait emitted by `#[derive(Deserialize)]`.
+/// Types that can reconstruct themselves from a [`Value`] tree.
 ///
-/// Nothing in this workspace deserializes yet; the derive exists so the
-/// seed's `#[derive(Serialize, Deserialize)]` attributes compile unchanged.
-pub trait Deserialize {}
+/// The inverse of [`Serialize`], emitted by `#[derive(Deserialize)]`.
+/// Errors carry the path context the derive and helpers accumulate, so a
+/// failure deep inside a config names the offending field.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_error(expected: &str, got: &Value) -> Error {
+    Error(format!("expected {expected}, got {}", got.kind()))
+}
+
+fn uint_of(v: &Value) -> Result<u64, Error> {
+    match v {
+        Value::UInt(n) => Ok(*n),
+        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+        other => Err(type_error("unsigned integer", other)),
+    }
+}
+
+fn int_of(v: &Value) -> Result<i64, Error> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        Value::UInt(n) => {
+            i64::try_from(*n).map_err(|_| Error(format!("integer {n} out of range for i64")))
+        }
+        other => Err(type_error("integer", other)),
+    }
+}
 
 macro_rules! impl_serialize_uint {
     ($($t:ty),*) => {$(
@@ -49,7 +135,17 @@ macro_rules! impl_serialize_uint {
                 Value::UInt(*self as u64)
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = uint_of(v)?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
     )*};
 }
 
@@ -60,7 +156,17 @@ macro_rules! impl_serialize_int {
                 Value::Int(*self as i64)
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = int_of(v)?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
     )*};
 }
 
@@ -72,28 +178,55 @@ impl Serialize for f64 {
         Value::Float(*self)
     }
 }
-impl Deserialize for f64 {}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(type_error("number", other)),
+        }
+    }
+}
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Float(*self as f64)
     }
 }
-impl Deserialize for f32 {}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_error("bool", other)),
+        }
+    }
+}
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(type_error("string", other)),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
@@ -106,7 +239,22 @@ impl Serialize for char {
         Value::Str(self.to_string())
     }
 }
-impl Deserialize for char {}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(Error(format!(
+                        "expected single-character string, got {s:?}"
+                    ))),
+                }
+            }
+            other => Err(type_error("string", other)),
+        }
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
@@ -120,6 +268,12 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -128,14 +282,32 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_value(item).map_err(|e| Error(format!("[{i}]: {e}"))))
+                .collect(),
+            other => Err(type_error("array", other)),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
@@ -156,7 +328,22 @@ macro_rules! impl_serialize_tuple {
                 Value::Array(vec![$(self.$n.to_value()),+])
             }
         }
-        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const ARITY: usize = 0 $(+ { let _ = $n; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == ARITY => Ok((
+                        $($t::from_value(&items[$n])
+                            .map_err(|e| Error(format!("[{}]: {e}", $n)))?,)+
+                    )),
+                    Value::Array(items) => Err(Error(format!(
+                        "expected array of {ARITY} elements, got {}",
+                        items.len()
+                    ))),
+                    other => Err(type_error("array", other)),
+                }
+            }
+        }
     )*};
 }
 
@@ -166,6 +353,115 @@ impl_serialize_tuple! {
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
     (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Helpers targeted by `#[derive(Deserialize)]`'s generated code.
+///
+/// Kept as free functions so the derive (raw token-stream string
+/// formatting, no `syn`/`quote`) emits short, readable calls.
+pub mod de {
+    use super::{Deserialize, Error, Value};
+
+    /// The entries of an object, or a type error naming `ty`.
+    pub fn object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+        match v {
+            Value::Object(entries) => Ok(entries),
+            other => Err(Error::msg(format!(
+                "{ty}: expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The elements of an array of exactly `n` elements.
+    pub fn array_n<'v>(v: &'v Value, ty: &str, n: usize) -> Result<&'v [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(Error::msg(format!(
+                "{ty}: expected array of {n} elements, got {}",
+                items.len()
+            ))),
+            other => Err(Error::msg(format!(
+                "{ty}: expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Reject unknown and duplicate keys; the error names the offending
+    /// key and lists the ones the type accepts.
+    pub fn check_fields(obj: &[(String, Value)], ty: &str, known: &[&str]) -> Result<(), Error> {
+        for (i, (key, _)) in obj.iter().enumerate() {
+            if !known.contains(&key.as_str()) {
+                return Err(Error::msg(format!(
+                    "{ty}: unknown field `{key}` (expected one of: {})",
+                    known.join(", ")
+                )));
+            }
+            if obj[..i].iter().any(|(k, _)| k == key) {
+                return Err(Error::msg(format!("{ty}: duplicate field `{key}`")));
+            }
+        }
+        Ok(())
+    }
+
+    /// A required field, with the type and field name in any error.
+    pub fn field<T: Deserialize>(obj: &[(String, Value)], ty: &str, key: &str) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::from_value(v).map_err(|e| Error::msg(format!("{ty}.{key}: {e}"))),
+            None => Err(Error::msg(format!("{ty}: missing field `{key}`"))),
+        }
+    }
+
+    /// A `#[serde(default)]` field: absent means `Default::default()`.
+    pub fn field_or_default<T: Deserialize + Default>(
+        obj: &[(String, Value)],
+        ty: &str,
+        key: &str,
+    ) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::from_value(v).map_err(|e| Error::msg(format!("{ty}.{key}: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Decode an externally-tagged enum value: a bare string is a unit
+    /// variant, a single-key object is a data-carrying variant with its
+    /// payload.
+    pub fn variant<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, Option<&'v Value>), Error> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), None)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            Value::Object(entries) => Err(Error::msg(format!(
+                "{ty}: expected single-variant object, got {} keys",
+                entries.len()
+            ))),
+            other => Err(Error::msg(format!(
+                "{ty}: expected variant string or object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Error for a variant name no arm matched.
+    pub fn unknown_variant(ty: &str, got: &str, expected: &[&str]) -> Error {
+        Error::msg(format!(
+            "{ty}: unknown variant `{got}` (expected one of: {})",
+            expected.join(", ")
+        ))
+    }
+
+    /// Error for a unit variant that arrived with a payload, or a
+    /// data-carrying variant that arrived bare.
+    pub fn variant_shape(ty: &str, variant: &str, wants_data: bool) -> Error {
+        if wants_data {
+            Error::msg(format!("{ty}: variant `{variant}` expects a payload"))
+        } else {
+            Error::msg(format!("{ty}: unit variant `{variant}` takes no payload"))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,5 +481,100 @@ mod tests {
             ])])
         );
         assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn primitives_roundtrip_through_from_value() {
+        assert_eq!(u32::from_value(&Value::UInt(7)), Ok(7));
+        assert_eq!(u8::from_value(&Value::Int(200)), Ok(200));
+        assert_eq!(i32::from_value(&Value::Int(-5)), Ok(-5));
+        assert_eq!(i64::from_value(&Value::UInt(9)), Ok(9));
+        assert_eq!(f64::from_value(&Value::UInt(2)), Ok(2.0));
+        assert_eq!(f64::from_value(&Value::Float(1.5)), Ok(1.5));
+        assert_eq!(bool::from_value(&Value::Bool(true)), Ok(true));
+        assert_eq!(
+            String::from_value(&Value::Str("x".into())),
+            Ok("x".to_string())
+        );
+        assert_eq!(char::from_value(&Value::Str("q".into())), Ok('q'));
+    }
+
+    #[test]
+    fn range_and_type_errors_name_the_problem() {
+        let e = u8::from_value(&Value::UInt(300)).unwrap_err();
+        assert!(e.message().contains("out of range for u8"), "{e}");
+        let e = u32::from_value(&Value::Int(-1)).unwrap_err();
+        assert!(e.message().contains("unsigned integer"), "{e}");
+        let e = bool::from_value(&Value::Str("yes".into())).unwrap_err();
+        assert!(e.message().contains("expected bool, got string"), "{e}");
+        // u64 is strict: a float literal is not an integer.
+        assert!(u64::from_value(&Value::Float(2.0)).is_err());
+    }
+
+    #[test]
+    fn options_vecs_and_tuples() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::UInt(4)), Ok(Some(4)));
+        assert_eq!(
+            Vec::<u32>::from_value(&Value::Array(vec![Value::UInt(1), Value::UInt(2)])),
+            Ok(vec![1, 2])
+        );
+        // Element errors carry the index.
+        let e = Vec::<u32>::from_value(&Value::Array(vec![Value::UInt(1), Value::Bool(false)]))
+            .unwrap_err();
+        assert!(e.message().starts_with("[1]:"), "{e}");
+        assert_eq!(
+            <(String, f64)>::from_value(&Value::Array(vec![
+                Value::Str("a".into()),
+                Value::Float(0.5)
+            ])),
+            Ok(("a".to_string(), 0.5))
+        );
+        let e = <(u32, u32)>::from_value(&Value::Array(vec![Value::UInt(1)])).unwrap_err();
+        assert!(e.message().contains("array of 2 elements"), "{e}");
+    }
+
+    #[test]
+    fn de_helpers_reject_unknown_and_duplicate_fields() {
+        let obj = vec![
+            ("a".to_string(), Value::UInt(1)),
+            ("b".to_string(), Value::UInt(2)),
+        ];
+        assert!(de::check_fields(&obj, "T", &["a", "b"]).is_ok());
+        let e = de::check_fields(&obj, "T", &["a"]).unwrap_err();
+        assert!(
+            e.message().contains("unknown field `b`") && e.message().contains("expected one of: a"),
+            "{e}"
+        );
+        let dup = vec![
+            ("a".to_string(), Value::UInt(1)),
+            ("a".to_string(), Value::UInt(2)),
+        ];
+        let e = de::check_fields(&dup, "T", &["a"]).unwrap_err();
+        assert!(e.message().contains("duplicate field `a`"), "{e}");
+        let e = de::field::<u32>(&obj, "T", "c").unwrap_err();
+        assert!(e.message().contains("missing field `c`"), "{e}");
+        assert_eq!(de::field_or_default::<u32>(&obj, "T", "c"), Ok(0));
+        // Nested errors accumulate the path.
+        let e = de::field::<u32>(&[("a".into(), Value::Bool(true))], "T", "a").unwrap_err();
+        assert!(e.message().starts_with("T.a:"), "{e}");
+    }
+
+    #[test]
+    fn variant_helper_decodes_both_shapes() {
+        assert_eq!(
+            de::variant(&Value::Str("Unit".into()), "E"),
+            Ok(("Unit", None))
+        );
+        let tagged = Value::Object(vec![("NewType".to_string(), Value::UInt(3))]);
+        let (name, payload) = de::variant(&tagged, "E").unwrap();
+        assert_eq!(name, "NewType");
+        assert_eq!(payload, Some(&Value::UInt(3)));
+        assert!(de::variant(&Value::UInt(1), "E").is_err());
+        let two_keys = Value::Object(vec![
+            ("A".to_string(), Value::Null),
+            ("B".to_string(), Value::Null),
+        ]);
+        assert!(de::variant(&two_keys, "E").is_err());
     }
 }

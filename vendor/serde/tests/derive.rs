@@ -1,0 +1,191 @@
+//! Derive-level tests: every shape `#[derive(Serialize, Deserialize)]`
+//! supports must build a `Value` tree and read it back.
+
+use serde::{de, Deserialize, Serialize, Value};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Plain {
+    a: u32,
+    b: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WithDefault {
+    required: u32,
+    #[serde(default)]
+    optional: f64,
+    #[serde(default)]
+    flags: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+struct Wrapper(u64);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Pair(u32, String);
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum Mode {
+    Fast,
+    Slow,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Shape {
+    Unit,
+    One(u32),
+    Two(u32, String),
+    Named {
+        x: u32,
+        #[serde(default)]
+        y: f64,
+    },
+}
+
+fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+    let tree = v.to_value();
+    let back = T::from_value(&tree).expect("roundtrip");
+    assert_eq!(&back, v);
+}
+
+#[test]
+fn named_struct_roundtrips() {
+    roundtrip(&Plain {
+        a: 7,
+        b: "x".into(),
+    });
+}
+
+#[test]
+fn named_struct_rejects_unknown_field() {
+    let v = Value::Object(vec![
+        ("a".to_string(), Value::UInt(1)),
+        ("b".to_string(), Value::Str("s".into())),
+        ("c".to_string(), Value::UInt(9)),
+    ]);
+    let e = Plain::from_value(&v).unwrap_err();
+    assert!(
+        e.message().contains("unknown field `c`")
+            && e.message().contains("Plain")
+            && e.message().contains("expected one of: a, b"),
+        "{e}"
+    );
+}
+
+#[test]
+fn named_struct_reports_missing_field() {
+    let v = Value::Object(vec![("a".to_string(), Value::UInt(1))]);
+    let e = Plain::from_value(&v).unwrap_err();
+    assert!(e.message().contains("missing field `b`"), "{e}");
+}
+
+#[test]
+fn serde_default_fields_may_be_absent() {
+    let v = Value::Object(vec![("required".to_string(), Value::UInt(3))]);
+    let d = WithDefault::from_value(&v).unwrap();
+    assert_eq!(
+        d,
+        WithDefault {
+            required: 3,
+            optional: 0.0,
+            flags: vec![],
+        }
+    );
+    // Present values still win over the default.
+    let v = Value::Object(vec![
+        ("required".to_string(), Value::UInt(3)),
+        ("optional".to_string(), Value::Float(2.5)),
+    ]);
+    assert_eq!(WithDefault::from_value(&v).unwrap().optional, 2.5);
+    roundtrip(&WithDefault {
+        required: 1,
+        optional: 4.5,
+        flags: vec!["a".into()],
+    });
+}
+
+#[test]
+fn transparent_and_tuple_structs() {
+    assert_eq!(Wrapper(9).to_value(), Value::UInt(9));
+    assert_eq!(Wrapper::from_value(&Value::UInt(9)), Ok(Wrapper(9)));
+    roundtrip(&Pair(1, "two".into()));
+    assert_eq!(
+        Pair(1, "two".into()).to_value(),
+        Value::Array(vec![Value::UInt(1), Value::Str("two".into())])
+    );
+}
+
+#[test]
+fn unit_enums_are_strings() {
+    assert_eq!(Mode::Fast.to_value(), Value::Str("Fast".into()));
+    assert_eq!(Mode::from_value(&Value::Str("Slow".into())), Ok(Mode::Slow));
+    let e = Mode::from_value(&Value::Str("Medium".into())).unwrap_err();
+    assert!(
+        e.message().contains("unknown variant `Medium`")
+            && e.message().contains("expected one of: Fast, Slow"),
+        "{e}"
+    );
+}
+
+#[test]
+fn data_carrying_variants_are_externally_tagged() {
+    roundtrip(&Shape::Unit);
+    roundtrip(&Shape::One(5));
+    roundtrip(&Shape::Two(1, "b".into()));
+    roundtrip(&Shape::Named { x: 2, y: 0.5 });
+    assert_eq!(
+        Shape::One(5).to_value(),
+        Value::Object(vec![("One".to_string(), Value::UInt(5))])
+    );
+    assert_eq!(
+        Shape::Named { x: 2, y: 0.5 }.to_value(),
+        Value::Object(vec![(
+            "Named".to_string(),
+            Value::Object(vec![
+                ("x".to_string(), Value::UInt(2)),
+                ("y".to_string(), Value::Float(0.5)),
+            ])
+        )])
+    );
+    // A struct variant's `#[serde(default)]` field may be absent.
+    let v = Value::Object(vec![(
+        "Named".to_string(),
+        Value::Object(vec![("x".to_string(), Value::UInt(4))]),
+    )]);
+    assert_eq!(Shape::from_value(&v), Ok(Shape::Named { x: 4, y: 0.0 }));
+}
+
+#[test]
+fn variant_shape_mismatches_are_loud() {
+    // Unit variant with a payload.
+    let v = Value::Object(vec![("Unit".to_string(), Value::UInt(1))]);
+    let e = Shape::from_value(&v).unwrap_err();
+    assert!(e.message().contains("takes no payload"), "{e}");
+    // Data variant without a payload.
+    let e = Shape::from_value(&Value::Str("One".into())).unwrap_err();
+    assert!(e.message().contains("expects a payload"), "{e}");
+    // Struct variant with an unknown field names the variant and key.
+    let v = Value::Object(vec![(
+        "Named".to_string(),
+        Value::Object(vec![
+            ("x".to_string(), Value::UInt(1)),
+            ("z".to_string(), Value::UInt(1)),
+        ]),
+    )]);
+    let e = Shape::from_value(&v).unwrap_err();
+    assert!(
+        e.message().contains("Shape::Named") && e.message().contains("unknown field `z`"),
+        "{e}"
+    );
+}
+
+#[test]
+fn de_helpers_compose_for_hand_written_impls() {
+    // Hand-written impls (used where the derive's externally-tagged layout
+    // is not wanted) lean on the same helpers the derive emits.
+    let v = Value::Object(vec![("kind".to_string(), Value::Str("x".into()))]);
+    let obj = de::object(&v, "Custom").unwrap();
+    assert_eq!(de::field::<String>(obj, "Custom", "kind").unwrap(), "x");
+    assert!(de::check_fields(obj, "Custom", &["kind"]).is_ok());
+}

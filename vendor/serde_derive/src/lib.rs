@@ -4,13 +4,16 @@
 //! directly from the `proc_macro::TokenStream`. Supported shapes — which
 //! cover every `#[derive(Serialize, Deserialize)]` in this workspace:
 //!
-//! * structs with named fields → JSON object in declaration order,
+//! * structs with named fields → JSON object in declaration order;
+//!   deserialization rejects unknown keys with an error naming the key,
+//!   and `#[serde(default)]` fields may be absent,
 //! * tuple structs → JSON array (single-field and `#[serde(transparent)]`
-//!   structs serialize as the inner value),
-//! * fieldless enums → the variant name as a JSON string.
+//!   structs map to the inner value),
+//! * enums → unit variants as the variant name string; newtype, tuple,
+//!   and struct variants externally tagged as `{"Variant": payload}`.
 //!
-//! Generic types and data-carrying enum variants are rejected with a
-//! compile error naming this file, so drift is loud rather than silent.
+//! Generic types are rejected with a compile error naming this file, so
+//! drift is loud rather than silent.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -21,13 +24,32 @@ struct Input {
     kind: Kind,
 }
 
+/// One named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 enum Kind {
-    /// Named-field struct with the field names in declaration order.
-    Struct(Vec<String>),
+    /// Named-field struct with the fields in declaration order.
+    Struct(Vec<Field>),
     /// Tuple struct with its arity.
     TupleStruct(usize),
-    /// Fieldless enum with its variant names.
-    Enum(Vec<String>),
+    /// Enum with its variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Parenthesized payload with its arity (1 = newtype).
+    Tuple(usize),
+    /// Named-field payload.
+    Struct(Vec<Field>),
 }
 
 /// Derive the mini-serde `Serialize` (see `vendor/serde`).
@@ -37,12 +59,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let name = &input.name;
     let body = match &input.kind {
         Kind::Struct(fields) if input.transparent && fields.len() == 1 => {
-            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
         }
         Kind::Struct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
                 .collect();
             format!("::serde::Value::Object(vec![{}])", entries.join(", "))
         }
@@ -54,10 +79,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             format!("::serde::Value::Array(vec![{}])", entries.join(", "))
         }
         Kind::Enum(variants) => {
-            let arms: Vec<String> = variants
-                .iter()
-                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"))
-                .collect();
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
             format!("match self {{ {} }}", arms.join(", "))
         }
     };
@@ -70,13 +92,190 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde_derive: generated impl must parse")
 }
 
-/// Derive the mini-serde `Deserialize` marker (see `vendor/serde`).
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let var = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{name}::{var} => ::serde::Value::Str(\"{var}\".to_string())")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{name}::{var}(x0) => ::serde::Value::Object(vec![(\"{var}\".to_string(), \
+             ::serde::Serialize::to_value(x0))])"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                .collect();
+            format!(
+                "{name}::{var}({}) => ::serde::Value::Object(vec![(\"{var}\".to_string(), \
+                 ::serde::Value::Array(vec![{}]))])",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                })
+                .collect();
+            format!(
+                "{name}::{var} {{ {} }} => ::serde::Value::Object(vec![(\"{var}\".to_string(), \
+                 ::serde::Value::Object(vec![{}]))])",
+                binds.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+/// Derive the mini-serde `Deserialize` (see `vendor/serde`).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let input = parse(input);
-    format!("impl ::serde::Deserialize for {} {{}}", input.name)
-        .parse()
-        .expect("serde_derive: generated impl must parse")
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) if input.transparent && fields.len() == 1 => {
+            format!(
+                "::core::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                fields[0].name
+            )
+        }
+        Kind::Struct(fields) => {
+            let known: Vec<String> = fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let getter = if f.default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    format!(
+                        "{}: ::serde::de::{getter}(obj, \"{name}\", \"{}\")?",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = ::serde::de::object(v, \"{name}\")?;\n\
+                 ::serde::de::check_fields(obj, \"{name}\", &[{}])?;\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                known.join(", "),
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::de::array_n(v, \"{name}\", {n})?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let expected: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let arms: Vec<String> = variants.iter().map(|v| deserialize_arm(name, v)).collect();
+            format!(
+                "let (tag, payload) = ::serde::de::variant(v, \"{name}\")?;\n\
+                 match tag {{\n{}\n\
+                 other => ::core::result::Result::Err(\
+                 ::serde::de::unknown_variant(\"{name}\", other, &[{}])), }}",
+                arms.join("\n"),
+                expected.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated impl must parse")
+}
+
+fn deserialize_arm(name: &str, v: &Variant) -> String {
+    let var = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "\"{var}\" => if payload.is_none() {{ ::core::result::Result::Ok({name}::{var}) }} \
+             else {{ ::core::result::Result::Err(\
+             ::serde::de::variant_shape(\"{name}\", \"{var}\", false)) }},"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "\"{var}\" => match payload {{\n\
+               ::core::option::Option::Some(p) => ::core::result::Result::Ok({name}::{var}(\
+                 ::serde::Deserialize::from_value(p).map_err(|e| \
+                 ::serde::Error::msg(format!(\"{name}::{var}: {{e}}\")))?)),\n\
+               ::core::option::Option::None => ::core::result::Result::Err(\
+                 ::serde::de::variant_shape(\"{name}\", \"{var}\", true)),\n\
+             }},"
+        ),
+        VariantKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&items[{i}]).map_err(|e| \
+                         ::serde::Error::msg(format!(\"{name}::{var}[{i}]: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{var}\" => match payload {{\n\
+                   ::core::option::Option::Some(p) => {{\n\
+                     let items = ::serde::de::array_n(p, \"{name}::{var}\", {n})?;\n\
+                     ::core::result::Result::Ok({name}::{var}({}))\n\
+                   }}\n\
+                   ::core::option::Option::None => ::core::result::Result::Err(\
+                     ::serde::de::variant_shape(\"{name}\", \"{var}\", true)),\n\
+                 }},",
+                items.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let known: Vec<String> = fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let getter = if f.default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    format!(
+                        "{}: ::serde::de::{getter}(obj, \"{name}::{var}\", \"{}\")?",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "\"{var}\" => match payload {{\n\
+                   ::core::option::Option::Some(p) => {{\n\
+                     let obj = ::serde::de::object(p, \"{name}::{var}\")?;\n\
+                     ::serde::de::check_fields(obj, \"{name}::{var}\", &[{}])?;\n\
+                     ::core::result::Result::Ok({name}::{var} {{ {} }})\n\
+                   }}\n\
+                   ::core::option::Option::None => ::core::result::Result::Err(\
+                     ::serde::de::variant_shape(\"{name}\", \"{var}\", true)),\n\
+                 }},",
+                known.join(", "),
+                inits.join(", ")
+            )
+        }
+    }
 }
 
 /// Parse the deriving item's shape out of its token stream.
@@ -89,7 +288,7 @@ fn parse(input: TokenStream) -> Input {
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = iter.next() {
-                    transparent |= attr_is_serde_transparent(&g.stream());
+                    transparent |= attr_has_serde_word(&g.stream(), "transparent");
                 }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -119,7 +318,7 @@ fn parse(input: TokenStream) -> Input {
     let body = match iter.next() {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-            let arity = split_top_level_commas(g.stream()).len();
+            let arity = nonempty_parts(g.stream()).len();
             return Input {
                 name,
                 transparent,
@@ -137,7 +336,7 @@ fn parse(input: TokenStream) -> Input {
     let kind = if keyword == "struct" {
         Kind::Struct(parse_named_fields(body.stream()))
     } else {
-        Kind::Enum(parse_fieldless_variants(body.stream(), &name))
+        Kind::Enum(parse_variants(body.stream()))
     };
     Input {
         name,
@@ -146,31 +345,34 @@ fn parse(input: TokenStream) -> Input {
     }
 }
 
-/// Whether a `#[...]` attribute body is exactly `serde(transparent)`.
-fn attr_is_serde_transparent(stream: &TokenStream) -> bool {
+/// Whether a `#[...]` attribute body is `serde(...)` containing `word`.
+fn attr_has_serde_word(stream: &TokenStream, word: &str) -> bool {
     let mut iter = stream.clone().into_iter();
     match (iter.next(), iter.next()) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
             .stream()
             .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == word)),
         _ => false,
     }
 }
 
-/// Field names of a named-field struct body, in declaration order.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
-    split_top_level_commas(stream)
+/// Fields of a named-field struct (or struct-variant) body, in declaration
+/// order, with their `#[serde(default)]` flags.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    nonempty_parts(stream)
         .into_iter()
-        .filter(|toks| !toks.is_empty())
         .map(|toks| {
             // Each field is `#[attr]* [pub [(..)]] name : Type`.
             let mut name = None;
+            let mut default = false;
             let mut iter = toks.into_iter().peekable();
             while let Some(tok) = iter.next() {
                 match tok {
                     TokenTree::Punct(p) if p.as_char() == '#' => {
-                        iter.next(); // the [...] attribute group
+                        if let Some(TokenTree::Group(g)) = iter.next() {
+                            default |= attr_has_serde_word(&g.stream(), "default");
+                        }
                     }
                     TokenTree::Ident(id) if id.to_string() == "pub" => {
                         if let Some(TokenTree::Group(g)) = iter.peek() {
@@ -186,19 +388,21 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
                     other => panic!("serde_derive: unexpected field token {other:?}"),
                 }
             }
-            name.expect("serde_derive: field without a name")
+            Field {
+                name: name.expect("serde_derive: field without a name"),
+                default,
+            }
         })
         .collect()
 }
 
-/// Variant names of a fieldless enum body.
-fn parse_fieldless_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
-    split_top_level_commas(stream)
+/// Variants of an enum body: unit, tuple/newtype, or struct-shaped.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    nonempty_parts(stream)
         .into_iter()
-        .filter(|toks| !toks.is_empty())
         .map(|toks| {
             let mut name = None;
-            let mut iter = toks.into_iter();
+            let mut iter = toks.into_iter().peekable();
             while let Some(tok) = iter.next() {
                 match tok {
                     TokenTree::Punct(p) if p.as_char() == '#' => {
@@ -211,14 +415,33 @@ fn parse_fieldless_variants(stream: TokenStream, enum_name: &str) -> Vec<String>
                     other => panic!("serde_derive: unexpected variant token {other:?}"),
                 }
             }
+            let name = name.expect("serde_derive: variant without a name");
+            let kind = match iter.next() {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(nonempty_parts(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                other => {
+                    panic!("serde_derive: unsupported shape after variant `{name}`: {other:?}")
+                }
+            };
             if iter.next().is_some() {
-                panic!(
-                    "serde_derive: enum `{enum_name}` has a data-carrying variant; \
-                     only fieldless enums are supported by the vendored mini-serde"
-                );
+                panic!("serde_derive: trailing tokens after variant `{name}`");
             }
-            name.expect("serde_derive: variant without a name")
+            Variant { name, kind }
         })
+        .collect()
+}
+
+/// Split a token stream on top-level commas, dropping empty parts (from a
+/// trailing comma).
+fn nonempty_parts(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|toks| !toks.is_empty())
         .collect()
 }
 

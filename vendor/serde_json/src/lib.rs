@@ -1,24 +1,41 @@
 //! Minimal, offline stand-in for `serde_json`: renders the vendored
-//! mini-serde [`serde::Value`] tree as JSON text. Supports exactly what the
-//! experiment harness needs (`to_string`, `to_string_pretty`); numbers
-//! render losslessly, non-finite floats render as `null` per the JSON spec's
-//! lack of NaN/Infinity.
+//! mini-serde [`serde::Value`] tree as JSON text and parses JSON text back
+//! into one. Supports what the experiment harness and the scenario
+//! compiler need (`to_string`, `to_string_pretty`, `from_str`,
+//! `from_value`); numbers render losslessly, non-finite floats render as
+//! `null` per the JSON spec's lack of NaN/Infinity.
+//!
+//! The parser is strict JSON (RFC 8259): no comments, no trailing commas,
+//! and duplicate object keys are rejected — a scenario file that names a
+//! key twice is almost certainly a typo'd override, so failing loudly
+//! beats last-one-wins.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
-/// Serialization error. The mini-serde value tree cannot actually fail to
-/// render, so this is uninhabited in practice but keeps call-site `Result`
-/// handling source-compatible with the real crate.
+/// Serialization/parse error with a human-readable message; parse errors
+/// carry the line and column of the offending byte.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serde_json stub error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.message().to_string())
+    }
+}
 
 /// Render compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -32,6 +49,269 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parse JSON text into a typed value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = value_from_str(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Convert an already-parsed [`Value`] tree into a typed value.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    Ok(T::from_value(v)?)
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn value_from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> Error {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error::msg(format!("{msg} at line {line} column {col}"))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.error(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(&format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self
+                .string()
+                .map_err(|_| self.error("expected string key"))?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(self.error(&format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            entries.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.error(&format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte sequence is valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input was valid UTF-8");
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(n)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error(&format!("invalid number `{text}`")))
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
@@ -141,5 +421,99 @@ mod tests {
     #[test]
     fn empty_containers() {
         assert_eq!(to_string_pretty(&Vec::<u32>::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(value_from_str("null").unwrap(), Value::Null);
+        assert_eq!(value_from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(value_from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(value_from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(value_from_str("-3").unwrap(), Value::Int(-3));
+        assert_eq!(value_from_str("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(value_from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(
+            value_from_str("\"hi\\n\\u0041\"").unwrap(),
+            Value::Str("hi\nA".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = value_from_str(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                (
+                    "a".to_string(),
+                    Value::Array(vec![
+                        Value::UInt(1),
+                        Value::Object(vec![("b".to_string(), Value::Null)])
+                    ])
+                ),
+                ("c".to_string(), Value::Str("x".into())),
+            ])
+        );
+        assert_eq!(v.get("c"), Some(&Value::Str("x".into())));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            value_from_str("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("\u{1F600}".into())
+        );
+        assert!(value_from_str("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let e = value_from_str("{\"a\": 1,\n \"a\": 2}").unwrap_err();
+        assert!(e.to_string().contains("duplicate object key `a`"), "{e}");
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = value_from_str("[1, 2").unwrap_err();
+        assert!(e.to_string().contains("expected"), "{e}");
+        let e = value_from_str("[1] tail").unwrap_err();
+        assert!(e.to_string().contains("trailing characters"), "{e}");
+        assert!(value_from_str("[1,]").is_err(), "trailing comma");
+        assert!(value_from_str("{'a': 1}").is_err(), "single quotes");
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let xs: Vec<u32> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+        let pair: (String, f64) = from_str("[\"a\", 0.5]").unwrap();
+        assert_eq!(pair, ("a".to_string(), 0.5));
+        let none: Option<u32> = from_str("null").unwrap();
+        assert_eq!(none, None);
+        assert!(from_str::<Vec<u32>>("[true]").is_err());
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let v = Value::Object(vec![
+            ("n".to_string(), Value::UInt(12)),
+            ("neg".to_string(), Value::Int(-4)),
+            ("x".to_string(), Value::Float(0.25)),
+            ("s".to_string(), Value::Str("quote\" slash\\".into())),
+            (
+                "arr".to_string(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+            ("obj".to_string(), Value::Object(vec![])),
+        ]);
+        let compact = {
+            let mut out = String::new();
+            write_value(&mut out, &v, None, 0);
+            out
+        };
+        assert_eq!(value_from_str(&compact).unwrap(), v);
+        let pretty = {
+            let mut out = String::new();
+            write_value(&mut out, &v, Some(2), 0);
+            out
+        };
+        assert_eq!(value_from_str(&pretty).unwrap(), v);
     }
 }

@@ -1,0 +1,86 @@
+//! End-to-end text round-trips: derived types → JSON text → derived types,
+//! exercising the parser and the derive together the way the scenario
+//! compiler uses them.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Config {
+    name: String,
+    size: u32,
+    #[serde(default)]
+    scale: f64,
+    #[serde(default)]
+    tags: Vec<String>,
+    mode: Mode,
+    link: Option<Link>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum Mode {
+    Open,
+    Closed,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Link {
+    Ideal,
+    Lossy { probability: f64 },
+}
+
+#[test]
+fn typed_text_roundtrip() {
+    let c = Config {
+        name: "incast".into(),
+        size: 48,
+        scale: 1.5,
+        tags: vec!["a".into(), "b".into()],
+        mode: Mode::Closed,
+        link: Some(Link::Lossy { probability: 0.01 }),
+    };
+    let text = serde_json::to_string_pretty(&c).unwrap();
+    let back: Config = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, c);
+}
+
+#[test]
+fn hand_written_text_parses() {
+    let text = r#"{
+        "name": "pingpong",
+        "size": 2,
+        "mode": "Open",
+        "link": {"Lossy": {"probability": 0.25}},
+        "tags": []
+    }"#;
+    let c: Config = serde_json::from_str(text).unwrap();
+    assert_eq!(c.name, "pingpong");
+    assert_eq!(c.mode, Mode::Open);
+    assert_eq!(c.scale, 0.0, "absent #[serde(default)] field");
+    assert_eq!(c.link, Some(Link::Lossy { probability: 0.25 }));
+}
+
+#[test]
+fn null_and_absence_for_option_fields() {
+    let with_null: Config =
+        serde_json::from_str(r#"{"name": "x", "size": 1, "mode": "Open", "link": null}"#).unwrap();
+    assert_eq!(with_null.link, None);
+    // Option fields are not implicitly defaultable: absence is an error
+    // unless the schema marks the field `#[serde(default)]`.
+    let e =
+        serde_json::from_str::<Config>(r#"{"name": "x", "size": 1, "mode": "Open"}"#).unwrap_err();
+    assert!(e.to_string().contains("missing field `link`"), "{e}");
+}
+
+#[test]
+fn errors_name_the_offending_key_from_text() {
+    let e = serde_json::from_str::<Config>(
+        r#"{"name": "x", "size": 1, "mode": "Open", "link": null, "szie": 2}"#,
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("unknown field `szie`"), "{e}");
+    let e = serde_json::from_str::<Config>(
+        r#"{"name": "x", "size": "big", "mode": "Open", "link": null}"#,
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("Config.size"), "{e}");
+}
