@@ -30,6 +30,7 @@ pub mod msg;
 pub mod nic;
 pub mod recovery;
 mod recv;
+mod relaxed;
 mod runtime;
 mod send;
 mod shard;
@@ -40,7 +41,7 @@ pub use handlers::{FnHandlers, Handlers, HeaderArgs, PayloadArgs};
 pub use host::{HostApi, HostProgram, MeSpec, PutArgs};
 pub use msg::{Notify, OutMsg, PayloadSpec};
 pub use recovery::RecoveryManager;
-pub use world::{Report, SimBuilder, World};
+pub use world::{Report, ShardMode, SimBuilder, World};
 
 /// Crate-wide result alias for handler code: `Err` is the model's SEGV.
 pub type HandlerResult<T> = Result<T, spin_hpu::memory::Segv>;

@@ -13,7 +13,7 @@
 
 use crate::msg::{Notify, OutMsg, PayloadSpec};
 use crate::nic::PendingSend;
-use crate::world::{Ev, World};
+use crate::world::{Ev, WirePolicy, World};
 use bytes::Bytes;
 use spin_hpu::memory::MemSlice;
 use spin_portals::ct::TriggeredAction;
@@ -152,6 +152,13 @@ impl World {
         }
         let mut off = 0usize;
         let mut last_tx_end = ready;
+        // Same-node sends always take the direct path, in every engine:
+        // the transfer serializes on the node's own loopback self-queue
+        // ([`Network::send_packet`]), which is node-local state — invisible
+        // to cross-shard lookahead, coordinator replay, and mailboxes
+        // alike. (Impairments never apply to self-pairs, so `extra` is
+        // zero here.)
+        let loopback = msg.src == msg.dst;
         for i in 0..total {
             let size = params.packet_size(wire_len, i as usize);
             let pkt = Packet {
@@ -174,23 +181,35 @@ impl World {
                     format!("tx m{} p{} (lost)", msg.msg_id, i)
                 });
                 last_tx_end = tx_end;
-            } else if self.deferred_wire {
-                // Sharded engine: only the egress half runs here (it is
-                // `src`-local); the ingress reservation belongs to the
+            } else if !loopback && self.wire == WirePolicy::Deferred {
+                // Exact sharded engine: only the egress half runs here (it
+                // is `src`-local); the ingress reservation belongs to the
                 // coordinator's ledger network, which replays it in global
                 // order when this WireSend is merged. The event time is
                 // when the packet head reaches the destination port.
-                assert!(
-                    msg.src != msg.dst,
-                    "loopback sends are not supported by the sharded engine"
-                );
                 let (tx_start, tx_end) = self.network.egress_phase(ready, msg.src, size);
                 self.gantt.record(n, "NIC", tx_start, tx_end, '=', || {
                     format!("tx m{} p{}", msg.msg_id, i)
                 });
                 let head_at_dst = tx_start + self.network.base_latency(msg.src, msg.dst) + extra;
                 q.post_at(head_at_dst, Ev::WireSend(msg.dst, Box::new(pkt)));
-            } else if extra > Time::ZERO {
+            } else if !loopback
+                && matches!(self.wire, WirePolicy::Relaxed { first, last }
+                    if msg.dst < first || msg.dst >= last)
+            {
+                // Relaxed sharded engine, destination outside this shard's
+                // span: run the egress half (src-local) and park the packet
+                // in the outbox; the engine delivers it through the
+                // per-pair mailbox at the next exchange, and the consuming
+                // shard charges the ingress reservation on its own ledger
+                // partition when it dispatches the WireSend.
+                let (tx_start, tx_end) = self.network.egress_phase(ready, msg.src, size);
+                self.gantt.record(n, "NIC", tx_start, tx_end, '=', || {
+                    format!("tx m{} p{}", msg.msg_id, i)
+                });
+                let head_at_dst = tx_start + self.network.base_latency(msg.src, msg.dst) + extra;
+                self.outbox.push((head_at_dst, msg.dst, Box::new(pkt)));
+            } else if !loopback && extra > Time::ZERO {
                 // Impaired serial path: the split-phase composition is
                 // bit-identical to `send_packet` (pinned by the net test
                 // `phase_split_composes_to_send_packet`), with the extra

@@ -34,7 +34,7 @@
 //! clocks, and memory contents are byte-identical at any shard count,
 //! including `k = 1` (which short-circuits to the serial engine).
 
-use crate::world::{Ev, Node, NodeStats, Report, SimBuilder, SimOutput, World};
+use crate::world::{Ev, Node, NodeStats, Report, SimBuilder, SimOutput, WirePolicy, World};
 use rayon::prelude::*;
 use spin_sim::engine::EventQueue;
 use spin_sim::gantt::Gantt;
@@ -133,8 +133,28 @@ impl Shard {
 }
 
 /// Shard index owning rank `rank` for chunk size `chunk`.
-fn shard_of(rank: u32, chunk: u32) -> usize {
+pub(crate) fn shard_of(rank: u32, chunk: u32) -> usize {
     (rank / chunk) as usize
+}
+
+/// Contiguous rank ranges `[first, last)` of `chunk = ceil(n / min(k, n))`
+/// nodes per shard — with the shard count clamped to the number of
+/// *non-empty* ranges. Plain ceil-division can strand trailing shards with
+/// nothing to own (n=12, k=8 → chunk=2 → shards 6 and 7 would start past
+/// rank 11); those shards would still pay a full n-node `World` replica and
+/// run every window, so they must never be constructed.
+pub(crate) fn shard_ranges(n: u32, k: usize) -> Vec<(u32, u32)> {
+    assert!(n > 0, "a simulation needs at least one node");
+    assert!(k > 0, "shard count must be positive");
+    let chunk = n.div_ceil(k.min(n as usize) as u32);
+    let k_eff = n.div_ceil(chunk);
+    let ranges: Vec<(u32, u32)> = (0..k_eff)
+        .map(|s| (s * chunk, ((s + 1) * chunk).min(n)))
+        .collect();
+    for &(first, last) in &ranges {
+        assert!(first < last, "empty shard constructed: [{first}, {last})");
+    }
+    ranges
 }
 
 /// Run `builder` on the sharded engine with (up to) `k` shards.
@@ -158,17 +178,14 @@ pub(crate) fn run_sharded(builder: SimBuilder, k: usize) -> SimOutput {
          latency is zero (zero-latency links admit no conservative window)"
     );
 
-    // Contiguous rank ranges of ceil(n / k_eff) nodes per shard.
-    let chunk = n.div_ceil(k_eff);
-    let mut shards: Vec<Shard> = Vec::with_capacity(k_eff as usize);
-    for s in 0..k_eff {
-        // Ceil-division chunking can leave trailing shards empty (e.g.
-        // n=12, k=8 → chunk=2, shard 7 would start at 14): clamp both
-        // bounds so such shards own the empty range [n, n).
-        let first = (s * chunk).min(n);
-        let last = ((s + 1) * chunk).min(n);
+    // Contiguous non-empty rank ranges (see `shard_ranges` for the
+    // trailing-shard clamp).
+    let ranges = shard_ranges(n, k_eff as usize);
+    let chunk = ranges[0].1 - ranges[0].0;
+    let mut shards: Vec<Shard> = Vec::with_capacity(ranges.len());
+    for &(first, last) in &ranges {
         let mut world = World::new(config.clone(), n);
-        world.deferred_wire = true;
+        world.wire = WirePolicy::Deferred;
         shards.push(Shard {
             world,
             queue: ShardQueue::new(),
@@ -261,11 +278,18 @@ pub(crate) fn run_sharded(builder: SimBuilder, k: usize) -> SimOutput {
 
     // Compose the final world from the authoritative slice of each shard
     // (ranges are contiguous and ascending), the ledger network, and the
-    // per-shard Gantt recorders (disjoint ranks).
+    // per-shard Gantt recorders (disjoint ranks). The fabric counters are
+    // the ledger's (every cross-node ingress replays there exactly once)
+    // plus the shard replicas' — which only ever count loopback transfers,
+    // the one send path that stays entirely shard-local.
     let mut nodes: Vec<Node> = Vec::with_capacity(n as usize);
     let mut gantt = Gantt::disabled();
+    let mut loopback_packets = 0u64;
+    let mut loopback_bytes = 0u64;
     for shard in shards {
         let (first, last) = (shard.first as usize, shard.last as usize);
+        loopback_packets += shard.world.network.packets_sent();
+        loopback_bytes += shard.world.network.bytes_sent();
         gantt.merge(shard.world.gantt);
         nodes.extend(shard.world.nodes.into_iter().skip(first).take(last - first));
     }
@@ -275,8 +299,8 @@ pub(crate) fn run_sharded(builder: SimBuilder, k: usize) -> SimOutput {
         marks,
         values,
         node_stats: nodes.iter().map(NodeStats::of).collect(),
-        net_packets: ledger.packets_sent(),
-        net_bytes: ledger.bytes_sent(),
+        net_packets: ledger.packets_sent() + loopback_packets,
+        net_bytes: ledger.bytes_sent() + loopback_bytes,
     };
     let world = World {
         config,
@@ -286,7 +310,41 @@ pub(crate) fn run_sharded(builder: SimBuilder, k: usize) -> SimOutput {
         marks: Vec::new(),
         values: Vec::new(),
         link_rngs: HashMap::new(),
-        deferred_wire: false,
+        wire: WirePolicy::Direct,
+        outbox: Vec::new(),
+        wire_dispatches: 0,
     };
     SimOutput { report, world }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::shard_ranges;
+
+    #[test]
+    fn shard_ranges_never_constructs_an_empty_shard() {
+        // The ISSUE case: n=12, k=8 → chunk=2 → only 6 shards exist.
+        assert_eq!(
+            shard_ranges(12, 8),
+            vec![(0, 2), (2, 4), (4, 6), (6, 8), (8, 10), (10, 12)]
+        );
+        // k > n clamps to one node per shard.
+        assert_eq!(shard_ranges(3, 64), vec![(0, 1), (1, 2), (2, 3)]);
+        // Uneven tail keeps its remainder but stays non-empty.
+        assert_eq!(shard_ranges(7, 3), vec![(0, 3), (3, 6), (6, 7)]);
+        // Exhaustive small sweep: ranges tile [0, n) and are all non-empty.
+        for n in 1..=40u32 {
+            for k in 1..=40usize {
+                let ranges = shard_ranges(n, k);
+                assert!(ranges.len() <= k && ranges.len() <= n as usize);
+                let mut next = 0u32;
+                for (first, last) in ranges {
+                    assert_eq!(first, next, "n={n} k={k}");
+                    assert!(first < last, "n={n} k={k}");
+                    next = last;
+                }
+                assert_eq!(next, n, "n={n} k={k}");
+            }
+        }
+    }
 }

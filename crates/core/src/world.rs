@@ -71,12 +71,16 @@ pub enum Ev {
     /// Receiver-side drain poll for `(node, pt)`: re-enable the portal
     /// table entry once its channels, HPU contexts, and MEs have drained.
     DrainCheck(u32, u32),
-    /// Sharded engine only: a packet left a shard-local egress link and is
+    /// Sharded engines only: a packet left a shard-local egress link and is
     /// bound for `dst`'s ingress port, with the head of the packet at that
-    /// port at the event's timestamp. Never dispatched — the shard
-    /// coordinator intercepts it, replays the ingress reservation on the
-    /// ledger network in global order, and re-posts the resulting
-    /// [`Ev::PacketArrive`] into `dst`'s shard.
+    /// port at the event's timestamp. Under the exact engine it is never
+    /// dispatched — the shard coordinator intercepts it, replays the
+    /// ingress reservation on the ledger network in global order, and
+    /// re-posts the resulting [`Ev::PacketArrive`] into `dst`'s shard.
+    /// Under the relaxed engine the *consuming* shard dispatches it
+    /// directly: the ingress reservation is charged against the shard's own
+    /// partition of the ledger (its replica network owns `dst`'s ingress
+    /// port exclusively), so no global replay is needed.
     WireSend(u32, Box<Packet>),
 }
 
@@ -98,10 +102,45 @@ pub struct World {
     /// order is engine-invariant, so impaired runs are bit-identical on
     /// the serial and sharded engines.
     pub(crate) link_rngs: HashMap<(u32, u32), SimRng>,
-    /// Sharded engine only: when set, `inject` stops at the egress phase
-    /// and posts [`Ev::WireSend`] instead of reserving the destination
-    /// ingress link itself (which belongs to the coordinator's ledger).
-    pub(crate) deferred_wire: bool,
+    /// How `inject` completes the wire half of a cross-node packet — the
+    /// one decision that differs between the serial engine and the two
+    /// sharded engines. See [`WirePolicy`].
+    pub(crate) wire: WirePolicy,
+    /// Relaxed sharded engine only: cross-span packets parked by `inject`
+    /// as `(head_at_dst, dst, packet)`, drained by the engine at the next
+    /// exchange point and delivered through the per-pair mailboxes.
+    pub(crate) outbox: Vec<(Time, u32, Box<Packet>)>,
+    /// Relaxed sharded engine only: [`Ev::WireSend`] events this world
+    /// dispatched. The serial engine has no such events — cross-node
+    /// ingress is charged inside the send dispatch — so the relaxed
+    /// report subtracts these to keep `events_executed` comparable.
+    pub(crate) wire_dispatches: u64,
+}
+
+/// How [`World::inject`](crate::world::World) completes the wire half of a
+/// cross-node packet. Same-node (loopback) packets always take the direct
+/// path: the self-queue is node-local state, invisible to every sharding
+/// scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum WirePolicy {
+    /// Serial engine: reserve the destination ingress link inline
+    /// (`send_packet` / the split-phase impaired path).
+    #[default]
+    Direct,
+    /// Exact sharded engine: run only the egress half (src-local) and post
+    /// [`Ev::WireSend`]; the coordinator replays the ingress half on its
+    /// ledger network in global merge order.
+    Deferred,
+    /// Relaxed sharded engine for the shard owning ranks `[first, last)`:
+    /// packets to owned destinations take the direct path on the shard's
+    /// own ledger partition; packets leaving the span run the egress half
+    /// and park in [`World::outbox`] for mailbox delivery.
+    Relaxed {
+        /// First owned rank.
+        first: u32,
+        /// One past the last owned rank.
+        last: u32,
+    },
 }
 
 impl World {
@@ -133,7 +172,9 @@ impl World {
             marks: Vec::new(),
             values: Vec::new(),
             link_rngs: HashMap::new(),
-            deferred_wire: false,
+            wire: WirePolicy::Direct,
+            outbox: Vec::new(),
+            wire_dispatches: 0,
         }
     }
 
@@ -223,8 +264,21 @@ impl World {
             }
             Ev::RecoveryTimer(n, peer, pt) => self.on_recovery_timer(q, now, n, peer, pt),
             Ev::DrainCheck(n, pt) => self.on_drain_check(q, now, n, pt),
-            Ev::WireSend(..) => {
-                unreachable!("WireSend is consumed by the shard coordinator, never dispatched")
+            Ev::WireSend(dst, pkt) => {
+                // Only the relaxed sharded engine posts WireSend into a
+                // dispatchable queue; the exact engine's coordinator
+                // intercepts them before they can get here.
+                assert!(
+                    matches!(self.wire, WirePolicy::Relaxed { .. }),
+                    "WireSend dispatched outside the relaxed sharded engine"
+                );
+                // `now` is when the packet head reached dst's ingress port;
+                // this shard owns that port exclusively, so the incast
+                // reservation is charged on its own ledger partition.
+                let bytes = pkt.payload.len();
+                let arrival = self.network.ingress_phase(now, dst, bytes);
+                q.post_at(arrival, Ev::PacketArrive(dst, pkt));
+                self.wire_dispatches += 1;
             }
         }
     }
@@ -302,12 +356,90 @@ impl BatchDispatch<Ev> for World {
     }
 }
 
+/// Parse an environment-variable value as a non-negative integer, or
+/// explain exactly which variable held what garbage. Pure (no env access)
+/// so the error path is unit-testable.
+pub(crate) fn parse_count(var: &str, raw: &str) -> Result<usize, String> {
+    raw.trim()
+        .parse::<usize>()
+        .map_err(|_| format!("{var} must be a non-negative integer, got {raw:?}"))
+}
+
+/// Parse an environment-variable value as an on/off switch
+/// (`1`/`on`/`true`/`yes` or `0`/`off`/`false`/`no`, case-insensitive),
+/// or explain exactly which variable held what garbage.
+pub(crate) fn parse_switch(var: &str, raw: &str) -> Result<bool, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" | "yes" => Ok(true),
+        "0" | "off" | "false" | "no" => Ok(false),
+        _ => Err(format!(
+            "{var} must be one of 1/on/true/yes or 0/off/false/no, got {raw:?}"
+        )),
+    }
+}
+
+/// Read `var` as a count, `default` when unset.
+///
+/// # Panics
+/// Panics — naming the variable and the bad value — on anything that does
+/// not parse. A typo like `SPIN_SHARDS=abc` must not silently run a
+/// different engine than the one the user asked for.
+fn env_count(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(raw) => parse_count(var, &raw).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => default,
+    }
+}
+
 /// Whether the serial engine uses batched same-time dispatch
-/// (`SPIN_BATCH_DISPATCH`; default on, `0`/`off`/`false` disables).
+/// (`SPIN_BATCH_DISPATCH`; default on, `0`/`off`/`false`/`no` disables).
+///
+/// # Panics
+/// Panics on an unrecognized value (see [`parse_switch`]): a typo must not
+/// silently select a dispatch strategy.
 pub fn batch_dispatch_enabled() -> bool {
     match std::env::var("SPIN_BATCH_DISPATCH") {
-        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false"),
+        Ok(raw) => parse_switch("SPIN_BATCH_DISPATCH", &raw).unwrap_or_else(|e| panic!("{e}")),
         Err(_) => true,
+    }
+}
+
+/// Which sharded engine `SPIN_SHARDS > 1` selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// The coordinator-merge engine: bit-identical to the serial reference
+    /// at any shard count (the default, and the differential baseline the
+    /// relaxed engine is tested against).
+    #[default]
+    Exact,
+    /// The pairwise-horizon engine: per-shard-pair mailboxes and
+    /// Chandy–Misra null-message horizons instead of a global window and a
+    /// serial merge. Trades bit-exactness for statistically-equivalent
+    /// reports (same delivery counts and stable statistics; same-time
+    /// cross-shard tie-breaks may differ) at higher parallelism.
+    Relaxed,
+}
+
+impl ShardMode {
+    /// Parse a `SPIN_SHARD_MODE` value. Pure so the error path is
+    /// unit-testable.
+    pub(crate) fn parse(var: &str, raw: &str) -> Result<ShardMode, String> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "exact" => Ok(ShardMode::Exact),
+            "relaxed" => Ok(ShardMode::Relaxed),
+            _ => Err(format!("{var} must be `exact` or `relaxed`, got {raw:?}")),
+        }
+    }
+
+    /// The mode selected by `SPIN_SHARD_MODE` (`exact` when unset).
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value, naming the variable and the value.
+    pub fn from_env() -> ShardMode {
+        match std::env::var("SPIN_SHARD_MODE") {
+            Ok(raw) => ShardMode::parse("SPIN_SHARD_MODE", &raw).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => ShardMode::Exact,
+        }
     }
 }
 
@@ -499,14 +631,15 @@ impl SimBuilder {
 
     /// Run the simulation to quiescence.
     ///
-    /// `SPIN_SHARDS=k` (k ≥ 2) selects the sharded conservative-parallel
-    /// engine; unset, `0`, or `1` runs the serial reference engine. Both
-    /// produce bit-identical output by construction (see `crate::shard`).
+    /// `SPIN_SHARDS=k` (k ≥ 2) selects a sharded conservative-parallel
+    /// engine; unset, `0`, or `1` runs the serial reference engine. Which
+    /// sharded engine is `SPIN_SHARD_MODE`'s choice ([`ShardMode`]): the
+    /// default `exact` engine is bit-identical to serial by construction
+    /// (see `crate::shard`); `relaxed` runs the pairwise-horizon engine
+    /// (see `crate::relaxed`). Malformed values of either variable panic
+    /// rather than silently running the wrong engine.
     pub fn run(self) -> SimOutput {
-        let shards = std::env::var("SPIN_SHARDS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .unwrap_or(1);
+        let shards = env_count("SPIN_SHARDS", 1);
         if shards > 1 {
             self.run_with_shards(shards)
         } else {
@@ -514,11 +647,21 @@ impl SimBuilder {
         }
     }
 
-    /// Run on the sharded conservative-parallel engine with `k` shards
+    /// Run on a sharded conservative-parallel engine with `k` shards
     /// (clamped to the node count; `k ≤ 1` falls back to the serial
-    /// reference engine).
+    /// reference engine), in the mode `SPIN_SHARD_MODE` selects.
     pub fn run_with_shards(self, k: usize) -> SimOutput {
-        crate::shard::run_sharded(self, k)
+        let mode = ShardMode::from_env();
+        self.run_with_shards_mode(k, mode)
+    }
+
+    /// Run on a sharded conservative-parallel engine with `k` shards in an
+    /// explicit [`ShardMode`].
+    pub fn run_with_shards_mode(self, k: usize, mode: ShardMode) -> SimOutput {
+        match mode {
+            ShardMode::Exact => crate::shard::run_sharded(self, k),
+            ShardMode::Relaxed => crate::relaxed::run_relaxed(self, k),
+        }
     }
 
     /// Run on the serial reference engine, batched dispatch per
@@ -556,5 +699,59 @@ impl SimBuilder {
             net_bytes: world.network.bytes_sent(),
         };
         SimOutput { report, world }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The env knobs (`SPIN_SHARDS`, `SPIN_BATCH_DISPATCH`,
+    // `SPIN_SHARD_MODE`) share these pure parsers, so exercising the
+    // parsers covers every variable's error path without mutating the
+    // process environment under a parallel test runner.
+
+    #[test]
+    fn count_parsing_is_loud_about_garbage() {
+        assert_eq!(parse_count("SPIN_SHARDS", "4"), Ok(4));
+        assert_eq!(parse_count("SPIN_SHARDS", " 12 "), Ok(12));
+        assert_eq!(parse_count("SPIN_SHARDS", "0"), Ok(0));
+        for bad in ["abc", "", "4x", "-1", "1.5"] {
+            let err = parse_count("SPIN_SHARDS", bad).unwrap_err();
+            assert!(err.contains("SPIN_SHARDS"), "{err}");
+            assert!(err.contains(&format!("{bad:?}")), "{err}");
+        }
+    }
+
+    #[test]
+    fn switch_parsing_is_loud_about_garbage() {
+        for on in ["1", "on", "true", "YES", " On "] {
+            assert_eq!(parse_switch("SPIN_BATCH_DISPATCH", on), Ok(true), "{on}");
+        }
+        for off in ["0", "off", "False", "no"] {
+            assert_eq!(parse_switch("SPIN_BATCH_DISPATCH", off), Ok(false), "{off}");
+        }
+        for bad in ["maybe", "", "2", "disabled"] {
+            let err = parse_switch("SPIN_BATCH_DISPATCH", bad).unwrap_err();
+            assert!(err.contains("SPIN_BATCH_DISPATCH"), "{err}");
+            assert!(err.contains(&format!("{bad:?}")), "{err}");
+        }
+    }
+
+    #[test]
+    fn shard_mode_parsing_is_loud_about_garbage() {
+        assert_eq!(
+            ShardMode::parse("SPIN_SHARD_MODE", "exact"),
+            Ok(ShardMode::Exact)
+        );
+        assert_eq!(
+            ShardMode::parse("SPIN_SHARD_MODE", " Relaxed "),
+            Ok(ShardMode::Relaxed)
+        );
+        for bad in ["fast", "", "exact ly"] {
+            let err = ShardMode::parse("SPIN_SHARD_MODE", bad).unwrap_err();
+            assert!(err.contains("SPIN_SHARD_MODE"), "{err}");
+            assert!(err.contains(&format!("{bad:?}")), "{err}");
+        }
     }
 }

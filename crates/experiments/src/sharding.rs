@@ -18,7 +18,7 @@
 //! bit-for-bit while timing them.
 
 use spin_core::config::{MachineConfig, NicKind};
-use spin_core::world::{Report, SimBuilder};
+use spin_core::world::{Report, ShardMode, SimBuilder};
 
 /// The incast world: `n` endpoints on a radix-8 fat tree (3 levels from
 /// 17 endpoints up: leaves of 4, pods of 16).
@@ -39,13 +39,19 @@ pub fn scale(quick: bool) -> (u32, u32) {
 }
 
 /// Run the scenario on the serial engine (`shards <= 1`) or the sharded
-/// engine.
+/// engine in exact (bit-identical) mode.
 pub fn incast_report(n: u32, rounds: u32, shards: usize) -> Report {
+    incast_report_mode(n, rounds, shards, ShardMode::Exact)
+}
+
+/// Run the scenario on the serial engine (`shards <= 1`) or the sharded
+/// engine in the given mode.
+pub fn incast_report_mode(n: u32, rounds: u32, shards: usize, mode: ShardMode) -> Report {
     let builder = incast_builder(n, rounds);
     if shards <= 1 {
         builder.run_serial().report
     } else {
-        builder.run_with_shards(shards).report
+        builder.run_with_shards_mode(shards, mode).report
     }
 }
 
@@ -65,8 +71,63 @@ pub fn digest(r: &Report) -> u64 {
         writeln!(out, "node{i} {s:?}").unwrap();
     }
     writeln!(out, "net packets={} bytes={}", r.net_packets, r.net_bytes).unwrap();
+    fnv1a(&out)
+}
+
+/// FNV-1a over the *count-stable* observables only: fabric totals, event
+/// count, the sorted `(rank, label)` mark multiset, recorded values, and
+/// per-node integer statistics — no times, no f64 aggregates. This is the
+/// slice the relaxed pairwise-horizon engine preserves exactly (it
+/// reshuffles same-instant tie-breaks, which moves timestamps but never
+/// what was delivered where), so serial, exact-sharded, and
+/// relaxed-sharded runs of one scenario all share one delivery digest.
+pub fn delivery_digest(r: &Report) -> u64 {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "events={}", r.events_executed).unwrap();
+    writeln!(out, "net packets={} bytes={}", r.net_packets, r.net_bytes).unwrap();
+    let mut marks: Vec<(u32, &str)> = r.marks.iter().map(|(n, l, _)| (*n, l.as_str())).collect();
+    marks.sort_unstable();
+    for (rank, label) in marks {
+        writeln!(out, "mark r{rank} {label}").unwrap();
+    }
+    for (rank, label, v) in &r.values {
+        writeln!(out, "value r{rank} {label} = {v}").unwrap();
+    }
+    for (i, s) in r.node_stats.iter().enumerate() {
+        writeln!(
+            out,
+            "node{i} dma={}/{}/{} hostmem={} hpu={}/{} fc={} drop={} runs={:?} err={} forced={} \
+             nack={}/{} rec={}/{}/{}/{}/{} pt={} recovered={}",
+            s.dma_bytes,
+            s.dma_reads,
+            s.dma_writes,
+            s.host_mem_bytes,
+            s.hpu_admitted,
+            s.hpu_rejected,
+            s.flow_control_events,
+            s.packets_dropped,
+            s.handler_runs,
+            s.handler_errors,
+            s.forced_completion_admissions,
+            s.nacks_sent,
+            s.recovery_nacks,
+            s.recovery_backoffs,
+            s.recovery_probes,
+            s.recovery_retransmits,
+            s.recovery_held,
+            s.recovery_abandoned,
+            s.pt_reenables,
+            s.recovered_messages,
+        )
+        .unwrap();
+    }
+    fnv1a(&out)
+}
+
+fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in out.bytes() {
+    for b in s.bytes() {
         h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
@@ -94,6 +155,20 @@ mod tests {
                 d,
                 digest(&incast_report(18, 2, shards)),
                 "digest diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_incast_preserves_the_delivery_digest() {
+        let serial = incast_report(18, 2, 1);
+        let d = delivery_digest(&serial);
+        for shards in [2usize, 5] {
+            let relaxed = incast_report_mode(18, 2, shards, ShardMode::Relaxed);
+            assert_eq!(
+                d,
+                delivery_digest(&relaxed),
+                "delivery digest diverged at {shards} relaxed shards"
             );
         }
     }

@@ -319,6 +319,44 @@ impl Topology {
         }
     }
 
+    /// The fewest switches any route between a node in `a` and a *distinct*
+    /// node in `b` crosses — the pairwise analogue of
+    /// [`Topology::min_route_switches`], used by the sharded engine to
+    /// derive a per-shard-pair lookahead from the closest inter-range
+    /// route (ranges are the shards' contiguous rank spans).
+    ///
+    /// Exhaustive over the cross product while it stays small; above
+    /// ~a million pairs it falls back to the global closest-pair bound,
+    /// which can only *under*-estimate the pairwise distance — a smaller
+    /// lookahead is always conservative, never wrong.
+    ///
+    /// # Panics
+    /// Panics if either range is empty, out of bounds, or the only
+    /// candidate pair is a node with itself.
+    pub fn min_route_switches_between(
+        &self,
+        a: std::ops::Range<NodeId>,
+        b: std::ops::Range<NodeId>,
+    ) -> u32 {
+        assert!(!a.is_empty() && !b.is_empty(), "empty shard range");
+        assert!(
+            a.end <= self.nodes && b.end <= self.nodes,
+            "shard range out of bounds"
+        );
+        assert!(
+            a.clone().any(|x| b.clone().any(|y| y != x)),
+            "no distinct node pair between {a:?} and {b:?}"
+        );
+        let pairs = (a.len() as u64) * (b.len() as u64);
+        if pairs > 1 << 20 {
+            return self.min_route_switches();
+        }
+        a.flat_map(|x| b.clone().filter(move |&y| y != x).map(move |y| (x, y)))
+            .map(|(x, y)| self.route_switches(x, y))
+            .min()
+            .expect("distinct pair checked above")
+    }
+
     /// Total number of switches in the fabric (for reporting).
     pub fn switch_count(&self) -> u32 {
         match &self.kind {
@@ -489,6 +527,51 @@ mod tests {
     #[should_panic(expected = "no distinct node pair")]
     fn min_route_switches_rejects_single_node() {
         Topology::fat_tree(1, 36).min_route_switches();
+    }
+
+    #[test]
+    fn min_route_switches_between_finds_closest_inter_range_route() {
+        // 3-level radix-4 fat tree of 12: leaves of 2, pods of 4.
+        let t = Topology::fat_tree(12, 4);
+        // Ranges sharing a leaf pair up at 1 switch.
+        assert_eq!(t.min_route_switches_between(0..2, 0..2), 1);
+        // Adjacent ranges inside one pod: closest pair crosses leaves (3).
+        assert_eq!(t.min_route_switches_between(0..2, 2..4), 3);
+        // Ranges in different pods: every route crosses the core (5).
+        assert_eq!(t.min_route_switches_between(0..4, 8..12), 5);
+        // A wide range straddling pods still finds the 3-switch pair.
+        assert_eq!(t.min_route_switches_between(0..2, 2..12), 3);
+        // Overlapping ranges admit a same-leaf pair.
+        assert_eq!(t.min_route_switches_between(0..12, 0..12), 1);
+
+        let d = Topology::dragonfly(3, 4, 2);
+        assert_eq!(d.min_route_switches_between(0..2, 0..2), 1);
+        assert_eq!(d.min_route_switches_between(0..2, 2..8), 2);
+        assert_eq!(d.min_route_switches_between(0..8, 8..24), 4);
+
+        // Torus neighbours along dimension 0 (with wraparound).
+        let r = Topology::torus(vec![4, 3]);
+        assert_eq!(r.min_route_switches_between(0..1, 1..2), 2);
+        assert_eq!(r.min_route_switches_between(0..1, 2..3), 3);
+
+        // The pairwise bound can never undercut the global closest pair.
+        for t in [
+            Topology::fat_tree(12, 4),
+            Topology::dragonfly(3, 4, 2),
+            Topology::torus(vec![4, 3]),
+        ] {
+            let n = t.nodes();
+            let g = t.min_route_switches();
+            for (a, b) in [(0..n / 2, n / 2..n), (0..1, 1..n), (0..n, 0..n)] {
+                assert!(t.min_route_switches_between(a, b) >= g, "{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no distinct node pair")]
+    fn min_route_switches_between_rejects_self_pair() {
+        Topology::fat_tree(12, 4).min_route_switches_between(3..4, 3..4);
     }
 
     #[test]

@@ -203,12 +203,19 @@ pub enum QueueBackend {
 impl QueueBackend {
     /// The backend selected by the `SPIN_EVENT_QUEUE` environment variable
     /// (`heap` or `calendar`, case-insensitive); the calendar queue when
-    /// unset or unrecognized. Lets whole experiment binaries be A/B'd
-    /// against the reference backend without a rebuild.
+    /// unset. Lets whole experiment binaries be A/B'd against the
+    /// reference backend without a rebuild.
+    ///
+    /// # Panics
+    /// Panics on any other value — a typo like `SPIN_EVENT_QUEUE=haep`
+    /// silently benchmarking the wrong backend is exactly the failure this
+    /// knob exists to prevent.
     pub fn from_env() -> Self {
         match std::env::var("SPIN_EVENT_QUEUE") {
             Ok(v) if v.eq_ignore_ascii_case("heap") => QueueBackend::Heap,
-            _ => QueueBackend::Calendar,
+            Ok(v) if v.eq_ignore_ascii_case("calendar") => QueueBackend::Calendar,
+            Ok(v) => panic!("SPIN_EVENT_QUEUE must be `heap` or `calendar`, got {v:?}"),
+            Err(_) => QueueBackend::Calendar,
         }
     }
 }

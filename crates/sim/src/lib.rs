@@ -18,6 +18,7 @@ pub mod calendar;
 pub mod engine;
 pub mod gantt;
 pub mod littles_law;
+pub mod mailbox;
 pub mod noise;
 pub mod resource;
 pub mod rng;
@@ -27,4 +28,5 @@ pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use engine::{Engine, EventQueue, HeapQueue, PendingQueue, QueueBackend};
+pub use mailbox::Mailbox;
 pub use time::{Time, GIGA, KIB, MIB, NS, PS, US};

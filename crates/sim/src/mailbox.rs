@@ -1,0 +1,162 @@
+//! Per-shard-pair mailbox for the pairwise-horizon (Chandy–Misra) parallel
+//! engine.
+//!
+//! A [`Mailbox`] is the inbound end of one directed shard pair `p → s`: the
+//! producer shard delivers timestamped messages into it at the exchange
+//! points, together with a **horizon** — the null-message promise that no
+//! *future* delivery on this pair will carry a head time below the horizon.
+//! The consumer shard may therefore safely execute every event strictly
+//! below the minimum of its inbound mailboxes' [`Mailbox::floor`]s: any
+//! message that could still contradict that execution is bounded away by a
+//! horizon, and everything already delivered is either drained into the
+//! consumer's queue or counted by the floor.
+//!
+//! Two invariants are asserted, because each is exactly the conservative
+//! safety argument:
+//!
+//! * deliveries never undercut the current horizon (the producer would be
+//!   breaking its own promise);
+//! * horizons never move backwards (a promise, once made, stands).
+//!
+//! Messages carry a per-mailbox monotone counter so a consumer draining
+//! several mailboxes can merge them deterministically by
+//! `(head, pair, counter)` — FIFO per pair, time-ordered across pairs.
+
+use crate::time::Time;
+
+/// The inbound end of one directed shard pair: pending timestamped
+/// messages plus the producer's horizon promise.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    pending: Vec<(Time, u64, M)>,
+    counter: u64,
+    horizon: Time,
+}
+
+impl<M> Mailbox<M> {
+    /// An empty mailbox whose producer initially promises `horizon` (for a
+    /// pairwise-lookahead engine: δ(p→s), the promise of a producer still
+    /// at time zero).
+    pub fn new(horizon: Time) -> Self {
+        Mailbox {
+            pending: Vec::new(),
+            counter: 0,
+            horizon,
+        }
+    }
+
+    /// Deliver one message whose head time is `head`.
+    ///
+    /// # Panics
+    /// Panics if `head` undercuts the current horizon — the producer is
+    /// violating its own null-message promise, which would let the
+    /// consumer execute events a still-undelivered message could affect.
+    pub fn deliver(&mut self, head: Time, msg: M) {
+        assert!(
+            head >= self.horizon,
+            "mailbox delivery at {head} undercuts the promised horizon {}",
+            self.horizon
+        );
+        self.counter += 1;
+        self.pending.push((head, self.counter, msg));
+    }
+
+    /// Raise the producer's promise: no future delivery below `to`.
+    ///
+    /// # Panics
+    /// Panics if the horizon would move backwards.
+    pub fn advance_horizon(&mut self, to: Time) {
+        assert!(
+            to >= self.horizon,
+            "mailbox horizon moving backwards: {to} < {}",
+            self.horizon
+        );
+        self.horizon = to;
+    }
+
+    /// The current promise.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Earliest undrained message head, if any.
+    pub fn pending_min(&self) -> Option<Time> {
+        self.pending.iter().map(|&(t, _, _)| t).min()
+    }
+
+    /// The safe execution bound this pair contributes: the earliest time a
+    /// not-yet-consumed effect could occur — the earliest pending head, or
+    /// the horizon once nothing is pending.
+    pub fn floor(&self) -> Time {
+        self.pending_min().unwrap_or(self.horizon).min(self.horizon)
+    }
+
+    /// Whether no messages are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Move every pending message into `out` as `(head, counter, msg)`,
+    /// sorted by `(head, counter)` — time order with FIFO tie-break.
+    pub fn drain_into(&mut self, out: &mut Vec<(Time, u64, M)>) {
+        self.pending.sort_by_key(|&(t, c, _)| (t, c));
+        out.append(&mut self.pending);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_tracks_pending_then_horizon() {
+        let mut mb = Mailbox::new(Time::from_ns(10));
+        assert_eq!(mb.floor(), Time::from_ns(10));
+        assert!(mb.is_empty());
+        mb.deliver(Time::from_ns(30), 'a');
+        mb.deliver(Time::from_ns(12), 'b');
+        // Pending messages bound the floor below the (later-raised) horizon.
+        mb.advance_horizon(Time::from_ns(25));
+        assert_eq!(mb.pending_min(), Some(Time::from_ns(12)));
+        assert_eq!(mb.floor(), Time::from_ns(12));
+        let mut out = Vec::new();
+        mb.drain_into(&mut out);
+        assert_eq!(
+            out.iter().map(|&(t, _, m)| (t, m)).collect::<Vec<_>>(),
+            vec![(Time::from_ns(12), 'b'), (Time::from_ns(30), 'a')]
+        );
+        assert!(mb.is_empty());
+        assert_eq!(mb.floor(), Time::from_ns(25));
+    }
+
+    #[test]
+    fn drain_breaks_head_ties_fifo() {
+        let mut mb = Mailbox::new(Time::ZERO);
+        mb.deliver(Time::from_ns(5), 'x');
+        mb.deliver(Time::from_ns(5), 'y');
+        mb.deliver(Time::from_ns(5), 'z');
+        let mut out = Vec::new();
+        mb.drain_into(&mut out);
+        let order: Vec<char> = out.iter().map(|&(_, _, m)| m).collect();
+        assert_eq!(order, vec!['x', 'y', 'z']);
+        // Counters keep rising across drains (cross-round determinism).
+        mb.deliver(Time::from_ns(6), 'w');
+        let mut out2 = Vec::new();
+        mb.drain_into(&mut out2);
+        assert!(out2[0].1 > out[2].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "undercuts the promised horizon")]
+    fn delivery_below_horizon_panics() {
+        let mut mb = Mailbox::new(Time::from_ns(10));
+        mb.deliver(Time::from_ns(9), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon moving backwards")]
+    fn horizon_regression_panics() {
+        let mut mb: Mailbox<()> = Mailbox::new(Time::from_ns(10));
+        mb.advance_horizon(Time::from_ns(5));
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared differential-test harness: a randomized traffic program and
+//! report fingerprinting, used by both `shard_equivalence.rs` (exact
+//! engine, byte-identity) and `shard_relaxed.rs` (relaxed engine,
+//! statistical equivalence).
+#![allow(dead_code)] // each test binary uses its own subset
+
+use spin_core::config::{MachineConfig, NicKind};
+use spin_core::host::{HostApi, HostProgram, MeSpec, PutArgs};
+use spin_core::world::{Report, ShardMode, SimBuilder};
+use spin_sim::time::Time;
+
+pub const MTU: usize = 4096;
+pub const RECV_BASE: usize = 0x10_0000;
+pub const SEND_BASE: usize = 0x1000;
+pub const REPLY_BASE: usize = 0x30_0000;
+
+/// One planned operation of a traffic node.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedOp {
+    /// Injection delay after start.
+    pub delay: Time,
+    /// Destination rank (`plans_from` never plans self; loopback tests do).
+    pub dst: u32,
+    /// Message length in bytes (possibly multi-packet).
+    pub len: usize,
+    /// `put` with ack, plain `put`, or `get`.
+    pub kind: u8,
+}
+
+/// A rank that arms a receive ME, then fires its planned ops off timers.
+pub struct TrafficNode {
+    pub plan: Vec<PlannedOp>,
+}
+
+impl HostProgram for TrafficNode {
+    fn on_start(&mut self, api: &mut HostApi<'_>) {
+        // One wide receive window per rank; all traffic matches bits 1.
+        api.me_append(MeSpec::recv(0, 1, (RECV_BASE, 1 << 17)));
+        let pattern: Vec<u8> = (0..3 * MTU + 99).map(|i| (i * 37 % 253) as u8).collect();
+        api.write_host(SEND_BASE, &pattern);
+        for (i, op) in self.plan.iter().enumerate() {
+            api.set_timer(op.delay, i as u64);
+        }
+        api.mark("armed");
+    }
+
+    fn on_timer(&mut self, token: u64, api: &mut HostApi<'_>) {
+        let op = self.plan[token as usize];
+        match op.kind {
+            0 => api.put(PutArgs::from_host(op.dst, 0, 1, SEND_BASE, op.len).with_ack()),
+            1 => api.put(PutArgs::from_host(op.dst, 0, 1, SEND_BASE, op.len)),
+            _ => api.get(
+                op.dst,
+                0,
+                1,
+                0,
+                op.len,
+                REPLY_BASE + token as usize * 0x2000,
+            ),
+        }
+    }
+
+    fn on_event(&mut self, ev: &spin_portals::eq::FullEvent, api: &mut HostApi<'_>) {
+        api.mark(format!("{:?}-p{}-m{}", ev.kind, ev.peer, ev.mlength));
+    }
+}
+
+/// Render every observable of a report into one stable string (the same
+/// shape the determinism goldens pin).
+pub fn fingerprint(r: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "end={} events={}", r.end_time.ps(), r.events_executed).unwrap();
+    for (rank, label, t) in &r.marks {
+        writeln!(out, "mark r{rank} {label} @{}", t.ps()).unwrap();
+    }
+    for (rank, label, v) in &r.values {
+        writeln!(out, "value r{rank} {label} = {v}").unwrap();
+    }
+    for (i, s) in r.node_stats.iter().enumerate() {
+        writeln!(out, "node{i} {s:?}").unwrap();
+    }
+    writeln!(out, "net packets={} bytes={}", r.net_packets, r.net_bytes).unwrap();
+    out
+}
+
+/// Shape raw proptest words into per-rank plans for an `n`-node world.
+pub fn plans_from(n: u32, specs: &[(u8, u64, u64)]) -> Vec<Vec<PlannedOp>> {
+    let mut plans: Vec<Vec<PlannedOp>> = (0..n).map(|_| Vec::new()).collect();
+    for &(sel, a, b) in specs {
+        let src = u32::from(sel) % n;
+        // Never self here: randomized cases target the cross-node machinery
+        // (loopback has its own directed tests at both shard modes).
+        let dst = (src + 1 + (a % u64::from(n - 1)) as u32) % n;
+        let kind = (b % 5).min(2) as u8; // bias toward puts
+        let len = match kind {
+            2 => 1 + (b % 2048) as usize, // gets stay single-packet
+            _ => 1 + (b % (2 * MTU as u64 + 600)) as usize,
+        };
+        plans[src as usize].push(PlannedOp {
+            delay: Time::from_ns(a % 15_000),
+            dst,
+            len,
+            kind,
+        });
+    }
+    plans
+}
+
+/// Run one case: serial when `shards <= 1`, else the sharded engine in the
+/// given mode.
+pub fn run_case_mode(n: u32, plans: &[Vec<PlannedOp>], shards: usize, mode: ShardMode) -> Report {
+    let mut config = MachineConfig::paper(NicKind::Integrated);
+    config.net.switch_ports = 4; // multi-level tree even at small n
+    let builder = SimBuilder::new(config).nodes_with(n, |r| {
+        Box::new(TrafficNode {
+            plan: plans[r as usize].clone(),
+        })
+    });
+    if shards <= 1 {
+        builder.run_serial().report
+    } else {
+        builder.run_with_shards_mode(shards, mode).report
+    }
+}
+
+/// Run one case on the serial engine (`shards <= 1`) or the exact sharded
+/// engine.
+pub fn run_case(n: u32, plans: &[Vec<PlannedOp>], shards: usize) -> Report {
+    run_case_mode(n, plans, shards, ShardMode::Exact)
+}

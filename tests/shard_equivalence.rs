@@ -1,12 +1,13 @@
 //! Differential proof that the sharded conservative-parallel engine is
 //! observationally identical to the serial reference engine.
 //!
-//! The sharded engine (`SPIN_SHARDS=k`, see `spin-core`'s `shard` module)
-//! promises more than statistical agreement: the merge step reconstructs
-//! the serial engine's global `(time, seq)` dispatch order exactly, so
-//! every observable — end time, event count, every mark and value in
-//! order, per-node statistics, fabric counters — must be **byte-identical**
-//! at any shard count. This harness checks that promise directly:
+//! The exact sharded engine (`SPIN_SHARDS=k`, see `spin-core`'s `shard`
+//! module) promises more than statistical agreement: the merge step
+//! reconstructs the serial engine's global `(time, seq)` dispatch order
+//! exactly, so every observable — end time, event count, every mark and
+//! value in order, per-node statistics, fabric counters — must be
+//! **byte-identical** at any shard count. This harness checks that promise
+//! directly:
 //!
 //! * randomized many-node traffic programs (timer-spread puts with acks and
 //!   gets, multi-packet messages, incast hotspots) run once on the serial
@@ -15,130 +16,23 @@
 //! * a directed same-instant cross-shard tie storm: many ranks inject puts
 //!   to one victim at exactly the same nanosecond, so ingress-ledger
 //!   ordering and same-time tie-breaks must reproduce the serial order;
+//! * a loopback workload (self puts/gets mixed with cross-node traffic):
+//!   same-node sends ride the per-node self-queue, exempt from the
+//!   lookahead window, and must stay byte-identical at 1/2/4 shards
+//!   (they used to hard-panic under `SPIN_SHARDS>1`);
 //! * a zero-latency fabric is rejected (a conservative engine has no
 //!   window to run without positive lookahead).
 //!
 //! Case count is `PROPTEST_CASES`-controlled (CI raises it).
 
+mod common;
+
+use common::{fingerprint, plans_from, run_case, PlannedOp, TrafficNode, MTU};
 use proptest::collection;
 use proptest::prelude::*;
 use spin_core::config::{MachineConfig, NicKind};
-use spin_core::host::{HostApi, HostProgram, MeSpec, PutArgs};
-use spin_core::world::{Report, SimBuilder};
+use spin_core::world::SimBuilder;
 use spin_sim::time::Time;
-
-const MTU: usize = 4096;
-const RECV_BASE: usize = 0x10_0000;
-const SEND_BASE: usize = 0x1000;
-const REPLY_BASE: usize = 0x30_0000;
-
-/// One planned operation of a traffic node.
-#[derive(Debug, Clone, Copy)]
-struct PlannedOp {
-    /// Injection delay after start.
-    delay: Time,
-    /// Destination rank (never self).
-    dst: u32,
-    /// Message length in bytes (possibly multi-packet).
-    len: usize,
-    /// `put` with ack, plain `put`, or `get`.
-    kind: u8,
-}
-
-/// A rank that arms a receive ME, then fires its planned ops off timers.
-struct TrafficNode {
-    plan: Vec<PlannedOp>,
-}
-
-impl HostProgram for TrafficNode {
-    fn on_start(&mut self, api: &mut HostApi<'_>) {
-        // One wide receive window per rank; all traffic matches bits 1.
-        api.me_append(MeSpec::recv(0, 1, (RECV_BASE, 1 << 17)));
-        let pattern: Vec<u8> = (0..3 * MTU + 99).map(|i| (i * 37 % 253) as u8).collect();
-        api.write_host(SEND_BASE, &pattern);
-        for (i, op) in self.plan.iter().enumerate() {
-            api.set_timer(op.delay, i as u64);
-        }
-        api.mark("armed");
-    }
-
-    fn on_timer(&mut self, token: u64, api: &mut HostApi<'_>) {
-        let op = self.plan[token as usize];
-        match op.kind {
-            0 => api.put(PutArgs::from_host(op.dst, 0, 1, SEND_BASE, op.len).with_ack()),
-            1 => api.put(PutArgs::from_host(op.dst, 0, 1, SEND_BASE, op.len)),
-            _ => api.get(
-                op.dst,
-                0,
-                1,
-                0,
-                op.len,
-                REPLY_BASE + token as usize * 0x2000,
-            ),
-        }
-    }
-
-    fn on_event(&mut self, ev: &spin_portals::eq::FullEvent, api: &mut HostApi<'_>) {
-        api.mark(format!("{:?}-p{}-m{}", ev.kind, ev.peer, ev.mlength));
-    }
-}
-
-/// Render every observable of a report into one stable string (the same
-/// shape the determinism goldens pin).
-fn fingerprint(r: &Report) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    writeln!(out, "end={} events={}", r.end_time.ps(), r.events_executed).unwrap();
-    for (rank, label, t) in &r.marks {
-        writeln!(out, "mark r{rank} {label} @{}", t.ps()).unwrap();
-    }
-    for (rank, label, v) in &r.values {
-        writeln!(out, "value r{rank} {label} = {v}").unwrap();
-    }
-    for (i, s) in r.node_stats.iter().enumerate() {
-        writeln!(out, "node{i} {s:?}").unwrap();
-    }
-    writeln!(out, "net packets={} bytes={}", r.net_packets, r.net_bytes).unwrap();
-    out
-}
-
-/// Shape raw proptest words into per-rank plans for an `n`-node world.
-fn plans_from(n: u32, specs: &[(u8, u64, u64)]) -> Vec<Vec<PlannedOp>> {
-    let mut plans: Vec<Vec<PlannedOp>> = (0..n).map(|_| Vec::new()).collect();
-    for &(sel, a, b) in specs {
-        let src = u32::from(sel) % n;
-        // Never self: conservative lookahead excludes zero-latency
-        // self-sends (see the loopback rejection in the send path).
-        let dst = (src + 1 + (a % u64::from(n - 1)) as u32) % n;
-        let kind = (b % 5).min(2) as u8; // bias toward puts
-        let len = match kind {
-            2 => 1 + (b % 2048) as usize, // gets stay single-packet
-            _ => 1 + (b % (2 * MTU as u64 + 600)) as usize,
-        };
-        plans[src as usize].push(PlannedOp {
-            delay: Time::from_ns(a % 15_000),
-            dst,
-            len,
-            kind,
-        });
-    }
-    plans
-}
-
-fn run_case(n: u32, plans: &[Vec<PlannedOp>], shards: usize) -> Report {
-    let mut config = MachineConfig::paper(NicKind::Integrated);
-    config.net.switch_ports = 4; // multi-level tree even at small n
-    let builder = SimBuilder::new(config).nodes_with(n, |r| {
-        Box::new(TrafficNode {
-            plan: plans[r as usize].clone(),
-        })
-    });
-    if shards <= 1 {
-        builder.run_serial().report
-    } else {
-        builder.run_with_shards(shards).report
-    }
-}
 
 proptest! {
     /// Randomized traffic, serial vs 2/3/8 shards: identical fingerprints.
@@ -200,6 +94,64 @@ fn same_time_cross_shard_ties_reproduce_serial_order() {
     assert!(
         report.net_packets >= 22,
         "storm sent {} packets",
+        report.net_packets
+    );
+}
+
+/// Regression for the `SPIN_SHARDS>1` loopback panic: same-node sends now
+/// serialize on the per-node self-queue — node-local state, exempt from
+/// the lookahead window and the coordinator's ingress ledger — so a
+/// workload mixing self puts (acked and plain, multi-packet), self gets,
+/// and cross-node traffic must produce byte-identical reports at 1, 2,
+/// and 4 shards.
+#[test]
+fn loopback_workload_is_shard_invariant() {
+    let n = 6u32;
+    let plans: Vec<Vec<PlannedOp>> = (0..n)
+        .map(|r| {
+            vec![
+                // Multi-packet self put with ack, same instant on every
+                // rank (self-queue contention never crosses nodes).
+                PlannedOp {
+                    delay: Time::from_ns(500),
+                    dst: r,
+                    len: MTU + 17,
+                    kind: 0,
+                },
+                // Plain self put racing the first one on the self-queue.
+                PlannedOp {
+                    delay: Time::from_ns(500 + u64::from(r) * 10),
+                    dst: r,
+                    len: 64,
+                    kind: 1,
+                },
+                // Cross-node put interleaved with the loopback traffic.
+                PlannedOp {
+                    delay: Time::from_ns(900),
+                    dst: (r + 1) % n,
+                    len: 300,
+                    kind: 0,
+                },
+                // Self get: the reply also loops back.
+                PlannedOp {
+                    delay: Time::from_ns(1_200),
+                    dst: r,
+                    len: 2048,
+                    kind: 2,
+                },
+            ]
+        })
+        .collect();
+    let serial = fingerprint(&run_case(n, &plans, 1));
+    for shards in [2usize, 4] {
+        let sharded = fingerprint(&run_case(n, &plans, shards));
+        assert_eq!(serial, sharded, "loopback diverged at {shards} shards");
+    }
+    // Not vacuous: every rank moved loopback and cross-node traffic.
+    let report = run_case(n, &plans, 4);
+    assert!(
+        report.net_packets >= u64::from(n) * 4,
+        "workload sent only {} packets",
         report.net_packets
     );
 }

@@ -1,0 +1,227 @@
+//! Differential contract of the **relaxed** pairwise-horizon sharded
+//! engine (`SPIN_SHARD_MODE=relaxed`, see `spin-core`'s `relaxed` module).
+//!
+//! The relaxed engine gives up the serial engine's tie-break order —
+//! ingress contention resolves in packet-head order, not global
+//! send-dispatch order — so reports are *not* byte-identical. What it must
+//! preserve, and what this harness pins differentially against the serial
+//! reference, is everything count-shaped:
+//!
+//! * fabric totals: packets moved, payload bytes moved;
+//! * the event count (after subtracting the relaxed engine's `WireSend`
+//!   bookkeeping dispatches, which the serial engine performs inline);
+//! * the multiset of `(rank, label)` marks — every delivery, ack, and
+//!   reply event fires on the same rank with the same label;
+//! * every integer per-node statistic (DMA traffic, handler runs, memory
+//!   bytes, flow-control and recovery counters — all zero-loss here);
+//! * the end-to-end time, within a small tolerance (contention order can
+//!   shift completion by sub-occupancy amounts, never by orders of
+//!   magnitude);
+//! * determinism: two relaxed runs of the same case are bit-identical to
+//!   each other (exchanges are serial, mailbox merges are keyed).
+//!
+//! Loopback workloads must also run unpanicked — same-node sends ride the
+//! per-node self-queue in every mode — and a zero-latency fabric is
+//! rejected exactly as the exact engine rejects it.
+
+mod common;
+
+use common::{fingerprint, plans_from, run_case_mode, PlannedOp, TrafficNode, MTU};
+use proptest::collection;
+use proptest::prelude::*;
+use spin_core::config::{MachineConfig, NicKind};
+use spin_core::world::{Report, ShardMode, SimBuilder};
+use spin_sim::time::Time;
+
+/// The count-stable slice of a report: everything that must survive the
+/// relaxed engine's reordering bit-for-bit.
+fn stable_fingerprint(r: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "events={}", r.events_executed).unwrap();
+    writeln!(out, "net packets={} bytes={}", r.net_packets, r.net_bytes).unwrap();
+    // Marks as a sorted (rank, label) multiset: times may shift, the set
+    // of things that happened may not.
+    let mut marks: Vec<(u32, &str)> = r.marks.iter().map(|(n, l, _)| (*n, l.as_str())).collect();
+    marks.sort_unstable();
+    for (rank, label) in marks {
+        writeln!(out, "mark r{rank} {label}").unwrap();
+    }
+    for (rank, label, v) in &r.values {
+        writeln!(out, "value r{rank} {label} = {v}").unwrap();
+    }
+    for (i, s) in r.node_stats.iter().enumerate() {
+        // Integer statistics only: f64 aggregates (busy/disabled time) sum
+        // in execution order and may differ in the last ulp or shift with
+        // admission timing.
+        writeln!(
+            out,
+            "node{i} dma={}/{}/{} hostmem={} hpu={}/{} fc={} drop={} runs={:?} err={} forced={} \
+             nack={}/{} rec={}/{}/{}/{}/{} pt={} recovered={}",
+            s.dma_bytes,
+            s.dma_reads,
+            s.dma_writes,
+            s.host_mem_bytes,
+            s.hpu_admitted,
+            s.hpu_rejected,
+            s.flow_control_events,
+            s.packets_dropped,
+            s.handler_runs,
+            s.handler_errors,
+            s.forced_completion_admissions,
+            s.nacks_sent,
+            s.recovery_nacks,
+            s.recovery_backoffs,
+            s.recovery_probes,
+            s.recovery_retransmits,
+            s.recovery_held,
+            s.recovery_abandoned,
+            s.pt_reenables,
+            s.recovered_messages,
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// End times must agree within 5% plus a microsecond of slack — tie-break
+/// reshuffling moves individual arrivals by at most a few link occupancies
+/// (~82 ns each), never by a protocol round trip.
+fn assert_end_time_close(serial: Time, relaxed: Time, ctx: &str) {
+    let (lo, hi) = (serial.min(relaxed), serial.max(relaxed));
+    let tolerance = Time::from_ps(hi.ps() / 20) + Time::from_us(1);
+    assert!(
+        hi - lo <= tolerance,
+        "{ctx}: end times diverged beyond tolerance: serial={}ps relaxed={}ps",
+        serial.ps(),
+        relaxed.ps()
+    );
+}
+
+proptest! {
+    /// Randomized traffic, serial vs relaxed 2/3/8 shards: count-stable
+    /// observables identical, end time within tolerance, and the relaxed
+    /// run reproducible against itself.
+    #[test]
+    fn relaxed_engine_is_statistically_equivalent_to_serial(
+        n in 4u32..9,
+        specs in collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..14),
+    ) {
+        let plans = plans_from(n, &specs);
+        let serial = run_case_mode(n, &plans, 1, ShardMode::Exact);
+        let stable = stable_fingerprint(&serial);
+        for shards in [2usize, 3, 8] {
+            let relaxed = run_case_mode(n, &plans, shards, ShardMode::Relaxed);
+            prop_assert_eq!(
+                &stable,
+                &stable_fingerprint(&relaxed),
+                "count-stable observables diverged at {} shards (n={})",
+                shards, n
+            );
+            assert_end_time_close(
+                serial.end_time,
+                relaxed.end_time,
+                &format!("{shards} shards, n={n}"),
+            );
+            // Run-to-run determinism: the relaxed engine is not
+            // serial-identical, but it is reproducible.
+            let again = run_case_mode(n, &plans, shards, ShardMode::Relaxed);
+            prop_assert_eq!(
+                fingerprint(&relaxed),
+                fingerprint(&again),
+                "relaxed run not reproducible at {} shards", shards
+            );
+        }
+    }
+}
+
+/// The incast tie storm from the exact-engine suite: the hardest case for
+/// pairwise horizons (every shard pair exchanges simultaneously). Counts
+/// must hold at every shard count even though tie-breaks shift.
+#[test]
+fn relaxed_survives_the_same_time_incast_storm() {
+    let n = 12u32;
+    let plans: Vec<Vec<PlannedOp>> = (0..n)
+        .map(|r| {
+            if r == 0 {
+                Vec::new()
+            } else {
+                vec![
+                    PlannedOp {
+                        delay: Time::from_ns(1_000),
+                        dst: 0,
+                        len: MTU + 321,
+                        kind: 0,
+                    },
+                    PlannedOp {
+                        delay: Time::from_ns(1_000),
+                        dst: (r % (n - 1)) + 1,
+                        len: 64,
+                        kind: 1,
+                    },
+                ]
+            }
+        })
+        .collect();
+    let serial = run_case_mode(n, &plans, 1, ShardMode::Exact);
+    for shards in [2usize, 3, 4, 8, 12] {
+        let relaxed = run_case_mode(n, &plans, shards, ShardMode::Relaxed);
+        assert_eq!(
+            stable_fingerprint(&serial),
+            stable_fingerprint(&relaxed),
+            "storm counts diverged at {shards} shards"
+        );
+        assert_end_time_close(
+            serial.end_time,
+            relaxed.end_time,
+            &format!("storm at {shards} shards"),
+        );
+    }
+    assert!(serial.net_packets >= 22, "storm not vacuous");
+}
+
+/// Loopback does not panic under the relaxed engine either: self sends are
+/// node-local in every mode.
+#[test]
+fn relaxed_handles_loopback_workloads() {
+    let n = 4u32;
+    let plans: Vec<Vec<PlannedOp>> = (0..n)
+        .map(|r| {
+            vec![
+                PlannedOp {
+                    delay: Time::from_ns(500),
+                    dst: r,
+                    len: MTU + 17,
+                    kind: 0,
+                },
+                PlannedOp {
+                    delay: Time::from_ns(900),
+                    dst: (r + 1) % n,
+                    len: 300,
+                    kind: 0,
+                },
+            ]
+        })
+        .collect();
+    let serial = run_case_mode(n, &plans, 1, ShardMode::Exact);
+    let relaxed = run_case_mode(n, &plans, 4, ShardMode::Relaxed);
+    assert_eq!(
+        stable_fingerprint(&serial),
+        stable_fingerprint(&relaxed),
+        "loopback counts diverged"
+    );
+    assert_end_time_close(serial.end_time, relaxed.end_time, "loopback at 4 shards");
+}
+
+/// Zero lookahead is rejected by the relaxed engine too: a pairwise
+/// horizon of zero admits no conservative bound.
+#[test]
+#[should_panic(expected = "positive lookahead")]
+fn relaxed_rejects_zero_latency_fabrics() {
+    let mut config = MachineConfig::paper(NicKind::Integrated);
+    config.net.switch_latency = Time::ZERO;
+    config.net.wire_latency = Time::ZERO;
+    SimBuilder::new(config)
+        .nodes_with(4, |_| Box::new(TrafficNode { plan: Vec::new() }))
+        .run_with_shards_mode(2, ShardMode::Relaxed);
+}

@@ -13,9 +13,11 @@
 //! stage runs in parallel.
 //!
 //! The worker count honors the `SPIN_JOBS` environment variable (a
-//! positive integer; `0`/unset/unparsable = one worker per available
-//! core), the same knob the experiment sweep harness and `--jobs` flag
-//! use, so one setting controls every parallel stage in a process.
+//! positive integer; `0`/unset = one worker per available core; anything
+//! unparsable panics, naming the variable and the bad value — a typo'd
+//! job count must not silently serialize or auto-scale a benchmark), the
+//! same knob the experiment sweep harness and `--jobs` flag use, so one
+//! setting controls every parallel stage in a process.
 //!
 //! **Order guarantee:** `par_iter().map(..).collect()` yields results in
 //! input order regardless of worker count, per-item cost, or which worker
@@ -82,8 +84,10 @@ impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
     }
 }
 
-/// Worker-thread count: `SPIN_JOBS` when set to a positive integer,
-/// otherwise one per available core. Public (the real crate exposes
+/// Worker-thread count: `SPIN_JOBS` when set to a positive integer, `0`
+/// or unset for one per available core. An unparsable value panics
+/// naming the variable and the value — a typo must not silently fall
+/// back to auto and skew a measurement. Public (the real crate exposes
 /// `current_num_threads` too) so callers that branch on "serial vs
 /// parallel" — e.g. the experiment sweep harness — share this exact
 /// policy instead of re-parsing the variable and risking drift.
@@ -94,12 +98,11 @@ pub fn current_num_threads() -> usize {
             .unwrap_or(1)
     };
     match std::env::var("SPIN_JOBS") {
-        Ok(v) => v
-            .trim()
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n > 0)
-            .unwrap_or_else(auto),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => auto(),
+            Ok(n) => n,
+            Err(_) => panic!("SPIN_JOBS must be a non-negative integer (0 = auto), got {v:?}"),
+        },
         Err(_) => auto(),
     }
 }
@@ -351,7 +354,8 @@ mod tests {
                 assert_eq!(ms, want, "mutation broke at jobs={jobs} n={n}");
             }
         }
-        // `0` and garbage fall back to auto rather than panicking.
+        // `0` falls back to auto; garbage panics loudly (a typo'd job
+        // count must not silently auto-scale a benchmark).
         std::env::set_var("SPIN_JOBS", "0");
         let ys: Vec<u64> = (0..10u64)
             .collect::<Vec<_>>()
@@ -360,12 +364,16 @@ mod tests {
             .collect();
         assert_eq!(ys, (0..10).collect::<Vec<_>>());
         std::env::set_var("SPIN_JOBS", "lots");
-        let ys: Vec<u64> = (0..10u64)
-            .collect::<Vec<_>>()
-            .par_iter()
-            .map(|&i| i)
-            .collect();
-        assert_eq!(ys, (0..10).collect::<Vec<_>>());
+        let err = std::panic::catch_unwind(super::current_num_threads)
+            .expect_err("SPIN_JOBS=lots should panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("SPIN_JOBS") && msg.contains("\"lots\""),
+            "panic should name the variable and value: {msg}"
+        );
         match prior {
             Some(v) => std::env::set_var("SPIN_JOBS", v),
             None => std::env::remove_var("SPIN_JOBS"),
