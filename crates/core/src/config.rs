@@ -1,5 +1,6 @@
 //! Machine configuration: the complete §4.2/§4.3 parameter set.
 
+use crate::fault::FaultPlan;
 use spin_hpu::dma::DmaParams;
 use spin_hpu::pool::HpuConfig;
 use spin_net::params::NetParams;
@@ -99,6 +100,14 @@ pub struct RecoveryConfig {
     /// (the timer is only a fallback), replacing blind exponential probing
     /// — fewer wasted probes at the same delivered-message count.
     pub notify_reenable: bool,
+    /// Selective packet-level retransmission: when a fault kills only the
+    /// *tail* packets of a multi-packet message mid-transmission (the
+    /// header already left on a live link), resume transmission from the
+    /// first dead packet instead of bouncing the whole message through
+    /// NACK → backoff → full replay. Counted in
+    /// `NicStats::retransmitted_bytes`; turn off to A/B the whole-message
+    /// baseline.
+    pub selective_retransmit: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -110,6 +119,7 @@ impl Default for RecoveryConfig {
             reenable_guard: Time::from_us(2),
             max_probes: 64,
             notify_reenable: false,
+            selective_retransmit: true,
         }
     }
 }
@@ -238,6 +248,11 @@ pub struct MachineConfig {
     pub topology: Option<TopologySpec>,
     /// Per-link impairments (None = an ideal fabric).
     pub impairments: Option<ImpairmentConfig>,
+    /// Scheduled fault plan — timed link/switch/node failures and
+    /// degradations (None = a fault-free run). Compiled against the
+    /// topology at world-build time; plans that can drop traffic require
+    /// [`MachineConfig::recovery`].
+    pub faults: Option<FaultPlan>,
     /// Record Gantt timelines (costs memory; for examples/debugging).
     pub record_gantt: bool,
     /// Charge a batched same-destination packet run's delivery DMA as one
@@ -266,6 +281,7 @@ impl MachineConfig {
             recovery: None,
             topology: None,
             impairments: None,
+            faults: None,
             record_gantt: false,
             pipelined_dma: true,
             seed: 0xC0FFEE,
@@ -301,6 +317,14 @@ impl MachineConfig {
         self
     }
 
+    /// Install a scheduled fault plan. Plans that can drop traffic (link /
+    /// switch / node failures, lossy degradations) require recovery
+    /// (checked at network-build time).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Build the network fabric for an `n`-node simulation: the explicit
     /// [`MachineConfig::topology`] when one is set, else the default fat
     /// tree. Both the serial engine's world and the sharded engine's
@@ -313,6 +337,15 @@ impl MachineConfig {
                 "lossy impairments require closed-loop recovery \
                  (MachineConfig::with_recovery): a lost message surfaces as \
                  a PtDisabled NACK, which only the recovery machinery handles"
+            );
+        }
+        if let Some(plan) = &self.faults {
+            assert!(
+                !plan.drop_capable() || self.recovery.is_some(),
+                "drop-capable fault plans require closed-loop recovery \
+                 (MachineConfig::with_recovery): traffic hitting a dead link \
+                 or crashed node surfaces as a PtDisabled NACK, which only \
+                 the recovery machinery handles"
             );
         }
         match &self.topology {

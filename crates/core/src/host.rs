@@ -38,6 +38,11 @@ pub struct Host {
     pub program: Option<Box<dyn HostProgram + Send>>,
     /// Set when the program called [`HostApi::stop`].
     pub stopped: bool,
+    /// Set while a scheduled `FaultKind::NodeCrash` holds the node down:
+    /// no callbacks are delivered, and arriving traffic bounces (NACK) or
+    /// drops until the matching `NodeRestart`. Distinct from `stopped` —
+    /// a stopped program finished cleanly and its NIC still answers.
+    pub crashed: bool,
 }
 
 impl Host {
@@ -49,6 +54,7 @@ impl Host {
             noise,
             program: None,
             stopped: false,
+            crashed: false,
         }
     }
 }
@@ -342,6 +348,7 @@ impl<'a> HostApi<'a> {
             msg_id: 0,
             attempt: 0,
             answers: 0,
+            resume_from: 0,
         };
         self.q
             .post_at(self.cursor, Ev::NicInject(self.node, Box::new(msg)));

@@ -24,6 +24,7 @@
 
 mod completion;
 pub mod config;
+pub mod fault;
 pub mod handlers;
 pub mod host;
 pub mod msg;
@@ -37,6 +38,7 @@ mod shard;
 pub mod world;
 
 pub use config::{HostParams, MachineConfig, NicKind, RecoveryConfig};
+pub use fault::{CompiledFaults, FaultEvent, FaultKind, FaultPlan, PathState};
 pub use handlers::{FnHandlers, Handlers, HeaderArgs, PayloadArgs};
 pub use host::{HostApi, HostProgram, MeSpec, PutArgs};
 pub use msg::{Notify, OutMsg, PayloadSpec};

@@ -106,6 +106,12 @@ pub struct OutMsg {
     pub attempt: u32,
     /// For `Reply`/`Ack`: the request's msg_id being answered.
     pub answers: u64,
+    /// Selective retransmission: first packet index to (re)transmit. 0 on
+    /// every fresh send; nonzero only on the tail-resume a faulted
+    /// multi-packet transmission schedules for itself
+    /// (`RecoveryConfig::selective_retransmit`) — packets below this index
+    /// already arrived under the same attempt and are not re-sent.
+    pub resume_from: u32,
 }
 
 impl OutMsg {
@@ -134,6 +140,7 @@ impl OutMsg {
             msg_id: 0,
             attempt: 0,
             answers: 0,
+            resume_from: 0,
         }
     }
 

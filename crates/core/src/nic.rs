@@ -181,6 +181,19 @@ pub struct NicStats {
     /// `PtReenabled` notifications sent to NACKed initiators (adaptive
     /// probing, `RecoveryConfig::notify_reenable`).
     pub reenable_notifies_sent: u64,
+    /// Packets dropped because a scheduled fault (dead link, failed
+    /// switch, crashed peer, lossy degradation) killed them in the fabric.
+    /// Subset of `packets_dropped`, attributed to the fault subsystem.
+    pub drops_on_dead_link: u64,
+    /// Messages that took a longer alternate path because part of the
+    /// upper fabric was down (`PathState::Rerouted`).
+    pub reroutes: u64,
+    /// Times this node came back from a scheduled crash
+    /// (`FaultKind::NodeRestart`).
+    pub crash_recoveries: u64,
+    /// Payload bytes re-transmitted by the recovery machinery: full replays
+    /// (probe/replay after a NACK) plus selective tail resumes.
+    pub retransmitted_bytes: u64,
 }
 
 /// The NIC runtime.
@@ -234,6 +247,30 @@ impl Nic {
             stats: NicStats::default(),
             msg_seq: 0,
         }
+    }
+
+    /// Tear down volatile NIC state on a scheduled node crash
+    /// (`FaultKind::NodeCrash`): the Portals NI (MEs, PTs, EQs, CTs),
+    /// channel CAM, HPU shared memory, in-flight send bookkeeping, and
+    /// recovery episodes are lost; peers of in-flight traffic discover the
+    /// crash through NACKs / probe exhaustion. What survives: the HPU pool
+    /// and DMA engine (hardware, merely idle), accumulated stats,
+    /// registered handler sets (the restart re-arms MEs against them), and
+    /// the message-id counter — ids stay monotonic across the crash so
+    /// replays after restart cannot collide with pre-crash ids still
+    /// buffered at peers. Host memory is likewise preserved (a warm
+    /// restart, not a reimage).
+    pub fn crash_reset(&mut self, config: &MachineConfig) {
+        let limits = NiLimits {
+            max_payload_size: config.net.mtu,
+            ..NiLimits::default()
+        };
+        self.ni = PortalsNi::new(config.num_pts, limits);
+        self.cam = Cam::new(config.cam_capacity);
+        self.hpu_mems.clear();
+        self.pending_sends.clear();
+        self.deferred.clear();
+        self.recovery.crash_reset();
     }
 
     /// The next message id originating at this NIC (rank `n`): the rank in

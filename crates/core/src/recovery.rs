@@ -165,6 +165,11 @@ pub struct RecoveryManager {
     recovered: u64,
     /// Aggregate first-NACK → delivery latency of recovered messages.
     recovery_latency: Time,
+    /// Messages abandoned after probe-budget exhaustion, by peer. Names
+    /// the unreachable destinations in the report — under a fault plan,
+    /// "which node was dead" is the question the aggregate
+    /// `recovery_abandoned` count cannot answer.
+    abandoned_by_peer: HashMap<u32, u64>,
     /// Receiver-side: PTs awaiting drain, with the time they disabled.
     drain: HashMap<u32, Time>,
     /// Receiver-side adaptive probing: per disabled PT, the initiators
@@ -184,9 +189,24 @@ impl RecoveryManager {
             nacked_at: HashMap::new(),
             recovered: 0,
             recovery_latency: Time::ZERO,
+            abandoned_by_peer: HashMap::new(),
             drain: HashMap::new(),
             reenable_subscribers: HashMap::new(),
         }
+    }
+
+    /// Tear down the volatile recovery state on a node crash
+    /// ([`FaultKind::NodeCrash`](crate::fault::FaultKind)): in-flight
+    /// tracking, per-peer episodes, drain polls, and re-enable
+    /// subscriptions die with the NIC, but the *accounting* — recovered
+    /// messages, recovery latency, per-peer abandonments — survives into
+    /// the report like every other `NicStats` counter.
+    pub fn crash_reset(&mut self) {
+        self.inflight.clear();
+        self.peers.clear();
+        self.nacked_at.clear();
+        self.drain.clear();
+        self.reenable_subscribers.clear();
     }
 
     /// The backoff a fresh episode starts with. With adaptive probing the
@@ -248,6 +268,18 @@ impl RecoveryManager {
     /// the sender-observable closed-loop recovery latency.
     pub fn recovery_latency_ns(&self) -> f64 {
         self.recovery_latency.ns()
+    }
+
+    /// Per-peer abandonment counts as `(peer, messages)`, ascending by
+    /// peer — deterministic despite the backing map.
+    pub fn abandoned_by_peer(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .abandoned_by_peer
+            .iter()
+            .map(|(&p, &c)| (p, c))
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     // ------------------------------------------------------- sender side
@@ -315,6 +347,7 @@ impl RecoveryManager {
                         }
                         self.nacked_at.remove(&id);
                     }
+                    *self.abandoned_by_peer.entry(peer).or_default() += dropped.len() as u64;
                     let p = self.peers.get_mut(&(peer, pt)).expect("entry exists");
                     p.state = PeerState::Idle;
                     p.backoff = Self::episode_backoff(&cfg);
@@ -474,6 +507,7 @@ pub(crate) fn post_nack(
         msg_id: 0,
         attempt: 0,
         answers: msg_id,
+        resume_from: 0,
     };
     q.post_at(at, Ev::NicInject(n, Box::new(msg)));
 }
@@ -577,6 +611,7 @@ impl World {
                 msg_id: 0,
                 attempt: 0,
                 answers: 0,
+                resume_from: 0,
             };
             q.post_at(at, Ev::NicInject(n, Box::new(msg)));
         }
@@ -692,6 +727,7 @@ mod tests {
             reenable_guard: Time::from_us(5),
             max_probes: 64,
             notify_reenable: false,
+            selective_retransmit: true,
         }
     }
 

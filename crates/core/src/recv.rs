@@ -134,6 +134,7 @@ impl World {
                     msg_id: 0,
                     attempt: 0,
                     answers: pkt.msg_id,
+                    resume_from: 0,
                 };
                 q.post_at(t.complete, Ev::NicInject(n, Box::new(reply)));
             }
@@ -393,6 +394,22 @@ impl World {
                 }
             }
             start_at = ch.header_done;
+            // A replay's header can find a channel of an *earlier* attempt
+            // of the same message still assembling — under selective
+            // resume a fault can kill the tail of an attempt whose head
+            // (header included) was delivered. That channel will never
+            // complete (the straggler filter rejects the new attempt's
+            // packets as follow-ons); evict it so the replay installs
+            // cleanly, and count its partially assembled head as dropped —
+            // delivered work the bounced attempt discards.
+            if split
+                .cam
+                .peek(msg_id)
+                .is_some_and(|c| c.attempt < pkt.attempt)
+            {
+                let stale = split.cam.evict(msg_id).expect("peeked above");
+                ctx.stats.packets_dropped += stale.processed as u64;
+            }
             if split.cam.install(msg_id, ch).is_err() {
                 // CAM exhausted: treat as flow control (drop message).
                 ctx.stats.flow_control_events += 1;

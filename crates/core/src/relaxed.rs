@@ -193,6 +193,22 @@ pub(crate) fn run_relaxed(builder: SimBuilder, k: usize) -> SimOutput {
         shards[s].world.nodes[i].host.program = Some(p);
         shards[s].queue.post_at(Time::ZERO, Ev::Start(i as u32));
     }
+    // Seed the fault schedule. Crash/restart events go to the shard owning
+    // the node; the dispatch no-op kinds execute once on shard 0 (their
+    // effects are plan-static queries every replica answers identically —
+    // and every fault effect *adds* latency or drops, never lowers a route
+    // below its base, so the pairwise horizons computed above stay sound
+    // under any plan the compiler accepts).
+    if let Some(faults) = shards[0].world.faults.clone() {
+        for (i, ev) in faults.events().iter().enumerate() {
+            let owner = match ev.kind {
+                crate::fault::FaultKind::NodeCrash { node }
+                | crate::fault::FaultKind::NodeRestart { node } => shard_of(node, chunk),
+                _ => 0,
+            };
+            shards[owner].queue.post_at(ev.at, Ev::Fault(i as u32));
+        }
+    }
 
     let mut executed_before: u64 = 0;
     loop {
@@ -301,6 +317,7 @@ pub(crate) fn run_relaxed(builder: SimBuilder, k: usize) -> SimOutput {
     // shard-index tie-breaks — deterministic, though same-time ties may
     // order differently than the serial trace.
     marks.sort_by_key(|&(_, _, t)| t);
+    let faults = shards[0].world.faults.take();
     for shard in shards {
         let (first, last) = (shard.first as usize, shard.last as usize);
         gantt.merge(shard.world.gantt);
@@ -314,11 +331,13 @@ pub(crate) fn run_relaxed(builder: SimBuilder, k: usize) -> SimOutput {
         node_stats: nodes.iter().map(NodeStats::of).collect(),
         net_packets,
         net_bytes,
+        links_downed_ns: faults.as_ref().map_or(0, |f| f.downtime_ns(end_time)),
     };
     let world = World {
         config,
         network: probe,
         nodes,
+        faults,
         gantt,
         marks: Vec::new(),
         values: Vec::new(),

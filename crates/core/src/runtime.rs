@@ -320,6 +320,7 @@ pub(crate) fn apply_action(
                 msg_id: 0,
                 attempt: 0,
                 answers: 0,
+                resume_from: 0,
             };
             q.post_at(t, Ev::NicInject(n, Box::new(msg)));
         }
@@ -353,6 +354,7 @@ pub(crate) fn apply_action(
                 msg_id: 0,
                 attempt: 0,
                 answers: 0,
+                resume_from: 0,
             };
             q.post_at(t, Ev::NicInject(n, Box::new(msg)));
         }
@@ -380,6 +382,7 @@ pub(crate) fn apply_action(
                 msg_id: 0,
                 attempt: 0,
                 answers: 0,
+                resume_from: 0,
             };
             q.post_at(t, Ev::NicInject(n, Box::new(msg)));
         }

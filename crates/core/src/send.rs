@@ -11,6 +11,7 @@
 //! the region clone the affected pages rather than corrupting in-flight
 //! packets.
 
+use crate::fault::PathState;
 use crate::msg::{Notify, OutMsg, PayloadSpec};
 use crate::nic::PendingSend;
 use crate::world::{Ev, WirePolicy, World};
@@ -28,11 +29,14 @@ impl World {
         if msg.msg_id == 0 {
             msg.msg_id = self.nodes[n as usize].nic.next_msg_id(n);
         }
-        // Ghost replay: a retransmission whose message was abandoned after
-        // the re-injection was queued (tombstoned in the event queue, but
-        // filtered here too so both engines are covered identically). Its
-        // delivery failure was already reported — do not resurrect it.
-        if msg.attempt > 0 && !self.nodes[n as usize].nic.recovery.is_tracked(msg.msg_id) {
+        // Ghost replay: a retransmission (or a fault-scheduled tail resume)
+        // whose message was abandoned after the re-injection was queued
+        // (tombstoned in the event queue, but filtered here too so both
+        // engines are covered identically). Its delivery failure was
+        // already reported — do not resurrect it.
+        if (msg.attempt > 0 || msg.resume_from > 0)
+            && !self.nodes[n as usize].nic.recovery.is_tracked(msg.msg_id)
+        {
             return;
         }
         // §3.2 recovery: register recoverable messages with the retransmit
@@ -150,17 +154,118 @@ impl World {
                 }
             }
         }
-        let mut off = 0usize;
-        let mut last_tx_end = ready;
         // Same-node sends always take the direct path, in every engine:
         // the transfer serializes on the node's own loopback self-queue
         // ([`Network::send_packet`]), which is node-local state — invisible
         // to cross-shard lookahead, coordinator replay, and mailboxes
-        // alike. (Impairments never apply to self-pairs, so `extra` is
-        // zero here.)
+        // alike. (Impairments and faults never apply to self-pairs, so
+        // `extra` and `fault_extra` are zero here.)
         let loopback = msg.src == msg.dst;
+        // Selective retransmission: a tail resume re-sends only packets
+        // `[resume_from, total)`; the head already arrived under this same
+        // attempt. Fresh sends and whole-message replays start at 0.
+        let first_tx = msg.resume_from as usize;
+        debug_assert!(first_tx < total as usize, "resume past the last packet");
+        if msg.attempt > 0 || first_tx > 0 {
+            // Recovery wire overhead: every byte this (re)injection is
+            // about to put on the wire again — full replays and tail
+            // resumes alike.
+            let head_off: usize = (0..first_tx).map(|i| params.packet_size(wire_len, i)).sum();
+            self.nodes[n as usize].nic.stats.retransmitted_bytes += (wire_len - head_off) as u64;
+        }
+        // Fault plan: judge this transmission against the scheduled fault
+        // state at each packet's own *predicted* egress time (the
+        // prediction mirrors the per-packet egress reservations below
+        // exactly, since every branch charges egress). Per-message effects
+        // — reroute penalty, degrade latency, degrade loss — are judged at
+        // the first transmitted packet; path death is additionally scanned
+        // per packet so a mid-message link cut truncates the transmission
+        // at the packet boundary where the path died.
+        let mut fault_extra = Time::ZERO;
+        let mut dead_from: Option<usize> = None;
+        let mut degrade_loss = 0.0f64;
+        let mut rerouted = false;
+        if !lost && !loopback {
+            if let Some(faults) = &self.faults {
+                // Only recovery-tracked messages (Put/Atomic/Get) die on a
+                // dead path: acks, NACKs, and replies ride the reliable
+                // control plane, exactly like impairment loss — the
+                // protocol cannot deadlock on a lost confirmation.
+                let tracked = self.nodes[n as usize].nic.recovery.is_tracked(msg.msg_id);
+                let mut starts = vec![Time::ZERO; total as usize];
+                let mut t = self.network.egress_free(msg.src).max(ready);
+                for (i, s) in starts.iter_mut().enumerate().skip(first_tx) {
+                    *s = t;
+                    t += params.packet_occupancy(params.packet_size(wire_len, i));
+                }
+                let head_t = starts[first_tx];
+                match faults.path_state(msg.src, msg.dst, head_t) {
+                    PathState::Dead if tracked => dead_from = Some(first_tx),
+                    PathState::Rerouted => {
+                        // Detour around the failed upper-tier switch: two
+                        // extra traversals on every packet of the message.
+                        let sw = self.network.topology().route_switches(msg.src, msg.dst);
+                        fault_extra += params.route_latency(sw + 2) - params.route_latency(sw);
+                        rerouted = true;
+                    }
+                    _ => {}
+                }
+                if dead_from.is_none() {
+                    if let Some((extra_latency, loss)) = faults.degrade_at(msg.src, msg.dst, head_t)
+                    {
+                        fault_extra += extra_latency;
+                        if loss > 0.0 && tracked {
+                            degrade_loss = loss;
+                        }
+                    }
+                    if tracked {
+                        for (i, &s) in starts.iter().enumerate().skip(first_tx + 1) {
+                            if faults.path_state(msg.src, msg.dst, s) == PathState::Dead {
+                                dead_from = Some(i);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if rerouted {
+            self.nodes[n as usize].nic.stats.reroutes += 1;
+        }
+        if degrade_loss > 0.0 && self.link_rng(msg.src, msg.dst).chance(degrade_loss) {
+            // Degrade-window loss drops the whole (remaining) message,
+            // like impairment loss — drawn after the impairment stream's
+            // draws, and only when a fault plan is installed, so fault-free
+            // runs consume an unchanged draw sequence.
+            dead_from = Some(first_tx);
+        }
+        if !self.config.recovery.is_some_and(|r| r.selective_retransmit) {
+            // Without selective retransmission a mid-message path death
+            // bounces the whole attempt: nothing is delivered, the NACK
+            // below drives a full replay.
+            if dead_from.is_some() {
+                dead_from = Some(first_tx);
+            }
+        }
+        // First packet index that never reaches the fabric. Everything in
+        // `[first_tx, cut)` transmits normally; `[cut, total)` occupies the
+        // source egress link but is never delivered.
+        let cut = if lost {
+            first_tx
+        } else {
+            dead_from.unwrap_or(total as usize)
+        };
+        let wire_extra = extra + fault_extra;
+        let mut off = 0usize;
+        let mut last_tx_end = ready;
         for i in 0..total {
             let size = params.packet_size(wire_len, i as usize);
+            if (i as usize) < first_tx {
+                // Already delivered under this attempt (selective resume):
+                // not re-sent, no egress occupancy.
+                off += size;
+                continue;
+            }
             let pkt = Packet {
                 msg_id: msg.msg_id,
                 index: i,
@@ -170,15 +275,19 @@ impl World {
                 payload: full.slice(off, size),
                 header: Arc::clone(&header),
             };
-            if lost {
+            if lost || (i as usize) >= cut {
                 // The bytes were transmitted — the source egress link is
                 // occupied as usual — but the fabric never delivers them:
                 // no ingress reservation, no fabric counters, no target
-                // state. Works identically under the sharded engine (the
-                // egress half is src-local and no WireSend is emitted).
+                // state. `(lost)` is the impairment draw, `(dead)` a
+                // scheduled fault with the path down at this packet's
+                // charged time. Works identically under the sharded
+                // engines (the egress half is src-local and no WireSend is
+                // emitted).
                 let (tx_start, tx_end) = self.network.egress_phase(ready, msg.src, size);
+                let cause = if lost { "lost" } else { "dead" };
                 self.gantt.record(n, "NIC", tx_start, tx_end, '=', || {
-                    format!("tx m{} p{} (lost)", msg.msg_id, i)
+                    format!("tx m{} p{} ({cause})", msg.msg_id, i)
                 });
                 last_tx_end = tx_end;
             } else if !loopback && self.wire == WirePolicy::Deferred {
@@ -191,7 +300,8 @@ impl World {
                 self.gantt.record(n, "NIC", tx_start, tx_end, '=', || {
                     format!("tx m{} p{}", msg.msg_id, i)
                 });
-                let head_at_dst = tx_start + self.network.base_latency(msg.src, msg.dst) + extra;
+                let head_at_dst =
+                    tx_start + self.network.base_latency(msg.src, msg.dst) + wire_extra;
                 q.post_at(head_at_dst, Ev::WireSend(msg.dst, Box::new(pkt)));
             } else if !loopback
                 && matches!(self.wire, WirePolicy::Relaxed { first, last }
@@ -207,9 +317,10 @@ impl World {
                 self.gantt.record(n, "NIC", tx_start, tx_end, '=', || {
                     format!("tx m{} p{}", msg.msg_id, i)
                 });
-                let head_at_dst = tx_start + self.network.base_latency(msg.src, msg.dst) + extra;
+                let head_at_dst =
+                    tx_start + self.network.base_latency(msg.src, msg.dst) + wire_extra;
                 self.outbox.push((head_at_dst, msg.dst, Box::new(pkt)));
-            } else if !loopback && extra > Time::ZERO {
+            } else if !loopback && wire_extra > Time::ZERO {
                 // Impaired serial path: the split-phase composition is
                 // bit-identical to `send_packet` (pinned by the net test
                 // `phase_split_composes_to_send_packet`), with the extra
@@ -219,7 +330,8 @@ impl World {
                 self.gantt.record(n, "NIC", tx_start, tx_end, '=', || {
                     format!("tx m{} p{}", msg.msg_id, i)
                 });
-                let head_at_dst = tx_start + self.network.base_latency(msg.src, msg.dst) + extra;
+                let head_at_dst =
+                    tx_start + self.network.base_latency(msg.src, msg.dst) + wire_extra;
                 let arrival = self.network.ingress_phase(head_at_dst, msg.dst, size);
                 q.post_at(arrival, Ev::PacketArrive(msg.dst, Box::new(pkt)));
             } else {
@@ -232,15 +344,25 @@ impl World {
             }
             off += size;
         }
-        if lost {
-            self.nodes[n as usize].nic.stats.packets_dropped += total as u64;
-            // Surface the loss to the sender as a §3.2 `PtDisabled` NACK —
-            // the same control message a flow-control bounce produces — so
-            // the existing backoff/probe/replay machinery retransmits the
+        if cut < total as usize {
+            let count = (total as usize - cut) as u64;
+            let nic = &mut self.nodes[n as usize].nic;
+            nic.stats.packets_dropped += count;
+            if !lost {
+                nic.stats.drops_on_dead_link += count;
+            }
+        }
+        if lost || dead_from == Some(first_tx) {
+            // Nothing of this (re)injection was delivered. Surface the
+            // failure to the sender as a §3.2 `PtDisabled` NACK — the same
+            // control message a flow-control bounce produces — so the
+            // existing backoff/probe/replay machinery retransmits the
             // message in order. The NACK is synthesized source-locally
-            // (the fabric carried nothing to the target): it lands one
-            // round trip after the last byte left, pays no link occupancy,
-            // and is invisible to the ledger and the fabric counters.
+            // (the fabric carried nothing to the target — for a scheduled
+            // fault it models the fabric's destination-unreachable
+            // report): it lands one round trip after the last byte left,
+            // pays no link occupancy, and is invisible to the ledger and
+            // the fabric counters.
             let nack_at = last_tx_end + self.network.base_latency(msg.src, msg.dst) * 2;
             let nack_header = Arc::new(PtlHeader {
                 op: OpKind::Ack,
@@ -265,6 +387,20 @@ impl World {
                 header: nack_header,
             };
             q.post_at(nack_at, Ev::PacketArrive(n, Box::new(nack)));
+        } else if cut < total as usize {
+            // Selective retransmission: the head `[first_tx, cut)` was
+            // delivered under this attempt; schedule a tail resume for
+            // `[cut, total)` one round trip after the last (dead) byte
+            // left — when the sender would learn delivery stopped. The
+            // resume keeps the same attempt and message id, so the
+            // receiver's channel keeps assembling where the head left off;
+            // it re-runs these fault checks at its own charged times, so a
+            // resume into a still-dead path NACKs into a full replay,
+            // bounded by the recovery probe budget.
+            let resume_at = last_tx_end + self.network.base_latency(msg.src, msg.dst) * 2;
+            let mut resume = msg.clone();
+            resume.resume_from = cut as u32;
+            q.post_at(resume_at, Ev::NicInject(n, Box::new(resume)));
         }
     }
 
@@ -294,6 +430,7 @@ impl World {
             msg_id: 0,
             attempt: 0,
             answers,
+            resume_from: 0,
         };
         q.post_at(t, Ev::NicInject(n, Box::new(msg)));
     }
@@ -349,6 +486,7 @@ impl World {
                     msg_id: 0,
                     attempt: 0,
                     answers: 0,
+                    resume_from: 0,
                 };
                 q.post_at(now, Ev::NicInject(n, Box::new(msg)));
             }
@@ -377,6 +515,7 @@ impl World {
                     msg_id: 0,
                     attempt: 0,
                     answers: 0,
+                    resume_from: 0,
                 };
                 q.post_at(now, Ev::NicInject(n, Box::new(msg)));
             }

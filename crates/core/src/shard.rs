@@ -209,6 +209,29 @@ pub(crate) fn run_sharded(builder: SimBuilder, k: usize) -> SimOutput {
             .queue
             .push(Time::ZERO, next_seq, Ev::Start(i));
     }
+    // Seed the fault schedule with the same seqs the serial engine assigns
+    // (continuing after the Starts). Crash/restart events go to the shard
+    // owning the node — its replica is the authority for that node's state,
+    // and events addressed to the node only ever appear in its queue. The
+    // dispatch no-op kinds go to shard 0: they still must *execute*
+    // somewhere exactly once so `events_executed` and `end_time` match the
+    // serial engine byte-for-byte (their effects are plan-static queries
+    // every replica answers identically).
+    if let Some(faults) = shards[0].world.faults.clone() {
+        // Every replica compiled the identical plan from the shared
+        // config, so event index `i` means the same event in all of them.
+        for (i, ev) in faults.events().iter().enumerate() {
+            next_seq += 1;
+            let owner = match ev.kind {
+                crate::fault::FaultKind::NodeCrash { node }
+                | crate::fault::FaultKind::NodeRestart { node } => shard_of(node, chunk),
+                _ => 0,
+            };
+            shards[owner]
+                .queue
+                .push(ev.at, next_seq, Ev::Fault(i as u32));
+        }
+    }
 
     let mut events_executed: u64 = 0;
     let mut end_time = Time::ZERO;
@@ -286,6 +309,7 @@ pub(crate) fn run_sharded(builder: SimBuilder, k: usize) -> SimOutput {
     let mut gantt = Gantt::disabled();
     let mut loopback_packets = 0u64;
     let mut loopback_bytes = 0u64;
+    let faults = shards[0].world.faults.take();
     for shard in shards {
         let (first, last) = (shard.first as usize, shard.last as usize);
         loopback_packets += shard.world.network.packets_sent();
@@ -301,11 +325,13 @@ pub(crate) fn run_sharded(builder: SimBuilder, k: usize) -> SimOutput {
         node_stats: nodes.iter().map(NodeStats::of).collect(),
         net_packets: ledger.packets_sent() + loopback_packets,
         net_bytes: ledger.bytes_sent() + loopback_bytes,
+        links_downed_ns: faults.as_ref().map_or(0, |f| f.downtime_ns(end_time)),
     };
     let world = World {
         config,
         network: ledger,
         nodes,
+        faults,
         gantt,
         marks: Vec::new(),
         values: Vec::new(),

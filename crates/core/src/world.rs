@@ -19,6 +19,7 @@
 //!   (rendezvous) completions, full events, counters, and acks.
 
 use crate::config::MachineConfig;
+use crate::fault::{CompiledFaults, FaultKind};
 use crate::host::{Host, HostApi, HostProgram};
 use crate::msg::OutMsg;
 use crate::nic::Nic;
@@ -82,6 +83,11 @@ pub enum Ev {
     /// partition of the ledger (its replica network owns `dst`'s ingress
     /// port exclusively), so no global replay is needed.
     WireSend(u32, Box<Packet>),
+    /// Apply entry `.0` of the compiled fault schedule
+    /// ([`World::faults`]) at its charged time. Only crash/restart carry
+    /// dispatch-time behavior; link/switch/degrade effects are plan-static
+    /// queries the send path makes at each packet's own charged time.
+    Fault(u32),
 }
 
 /// The complete machine state.
@@ -92,6 +98,12 @@ pub struct World {
     pub network: Network,
     /// All endpoints.
     pub nodes: Vec<Node>,
+    /// The scheduled fault plan compiled against the fabric (None = no
+    /// faults). Immutable after construction: every replica of a sharded
+    /// run compiles the identical plan from the shared config, and all
+    /// wire-level fault effects are pure functions of this structure and
+    /// a query time.
+    pub faults: Option<CompiledFaults>,
     /// Optional Gantt recorder.
     pub gantt: Gantt,
     pub(crate) marks: Vec<(u32, String, Time)>,
@@ -160,8 +172,14 @@ impl World {
                 }
             })
             .collect();
+        let network = config.build_network(n);
+        let faults = config.faults.as_ref().map(|plan| {
+            CompiledFaults::compile(plan, network.topology())
+                .unwrap_or_else(|e| panic!("invalid fault plan: {e}"))
+        });
         World {
-            network: config.build_network(n),
+            network,
+            faults,
             gantt: if config.record_gantt {
                 Gantt::enabled()
             } else {
@@ -242,7 +260,11 @@ impl World {
 
     /// Event dispatch entry point: route each event to its subsystem.
     pub fn dispatch(&mut self, q: &mut EventQueue<Ev>, now: Time, ev: Ev) {
+        let Some(ev) = self.crash_filter(q, now, ev) else {
+            return;
+        };
         match ev {
+            Ev::Fault(idx) => self.on_fault(q, now, idx),
             Ev::Start(n) => self.call_program(q, now, n, ProgramCall::Start),
             Ev::Timer(n, token) => self.call_program(q, now, n, ProgramCall::Timer(token)),
             Ev::HostDeliver(n, ev) => self.call_program(q, now, n, ProgramCall::Event(*ev)),
@@ -280,6 +302,104 @@ impl World {
                 q.post_at(arrival, Ev::PacketArrive(dst, pkt));
                 self.wire_dispatches += 1;
             }
+        }
+    }
+
+    /// Crash gate ahead of the dispatch table: a crashed node is dark — its
+    /// program, NIC pipeline, counters, and timers are all dead silicon, so
+    /// node-addressed events targeting it are swallowed. Two exceptions:
+    ///
+    /// * `NicInject` of an `Ack` passes. The source-local NACKs the fault
+    ///   model synthesizes (send path, and `on_packet_at_crashed` below)
+    ///   model the *fabric* reporting destination-unreachable, not the dead
+    ///   NIC speaking — they must leave or the sender's recovery machine
+    ///   never engages.
+    /// * `PacketArrive` is accounted (dropped on the dead link) and, for
+    ///   recoverable headers, answered with that same synthesized NACK so
+    ///   in-flight traffic that raced the crash drives the sender into
+    ///   backoff→probing instead of hanging.
+    fn crash_filter(&mut self, q: &mut EventQueue<Ev>, now: Time, ev: Ev) -> Option<Ev> {
+        let target = match &ev {
+            Ev::Start(n)
+            | Ev::Timer(n, _)
+            | Ev::MessageDone(n, _)
+            | Ev::HostDeliver(n, _)
+            | Ev::Triggered(n, _)
+            | Ev::CtInc(n, _, _)
+            | Ev::CtSet(n, _, _)
+            | Ev::RecoveryTimer(n, _, _)
+            | Ev::DrainCheck(n, _)
+            | Ev::NicInject(n, _)
+            | Ev::PacketArrive(n, _) => *n,
+            Ev::WireSend(_, _) | Ev::Fault(_) => return Some(ev),
+        };
+        if !self.nodes[target as usize].host.crashed {
+            return Some(ev);
+        }
+        match ev {
+            Ev::NicInject(_, ref msg) if msg.op == OpKind::Ack => Some(ev),
+            Ev::PacketArrive(n, pkt) => {
+                self.on_packet_at_crashed(q, now, n, *pkt);
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// A packet reached a crashed node: count the dead-link drop and NACK
+    /// recoverable headers so the initiator recovers instead of hanging.
+    fn on_packet_at_crashed(&mut self, q: &mut EventQueue<Ev>, now: Time, n: u32, pkt: Packet) {
+        let nic = &mut self.nodes[n as usize].nic;
+        nic.stats.packets_dropped += 1;
+        nic.stats.drops_on_dead_link += 1;
+        let recoverable = matches!(pkt.header.op, OpKind::Put | OpKind::Atomic(_) | OpKind::Get);
+        if pkt.is_header() && recoverable && self.config.recovery.is_some() {
+            nic.stats.nacks_sent += 1;
+            crate::recovery::post_nack(
+                q,
+                now,
+                n,
+                pkt.header.source_id,
+                pkt.header.pt_index,
+                pkt.msg_id,
+                &mut nic.recovery,
+            );
+        }
+    }
+
+    /// Apply entry `idx` of the compiled fault schedule. Only node
+    /// crash/restart mutate machine state here; link, switch, and degrade
+    /// events are dispatch no-ops — their effects are plan-static queries
+    /// ([`CompiledFaults`]) the send path evaluates at each packet's own
+    /// charged transmission time, which keeps boundary-crossing packets and
+    /// shard replicas consistent for free.
+    fn on_fault(&mut self, q: &mut EventQueue<Ev>, now: Time, idx: u32) {
+        let ev = self
+            .faults
+            .as_ref()
+            .expect("Ev::Fault posted without a fault plan")
+            .events()[idx as usize]
+            .clone();
+        match ev.kind {
+            FaultKind::NodeCrash { node } => {
+                let World { nodes, config, .. } = self;
+                let slot = &mut nodes[node as usize];
+                slot.host.crashed = true;
+                slot.nic.crash_reset(config);
+            }
+            FaultKind::NodeRestart { node } => {
+                let slot = &mut self.nodes[node as usize];
+                slot.host.crashed = false;
+                slot.host.stopped = false;
+                slot.nic.stats.crash_recoveries += 1;
+                // Re-arm the surviving program object: on_start re-installs
+                // MEs/handlers (me_append dedups handler sets), modelling a
+                // warm restart that re-registers with the NIC.
+                q.post_at(now, Ev::Start(node));
+            }
+            // Link/switch/degrade state lives entirely in the plan-static
+            // queries; nothing to do at the transition instant.
+            _ => {}
         }
     }
 
@@ -500,6 +620,21 @@ pub struct NodeStats {
     pub recovered_messages: u64,
     /// Aggregate first-NACK → delivery latency (ns) of recovered messages.
     pub recovery_latency_ns: f64,
+    /// Packets dropped because a scheduled fault had the path (or this
+    /// node) dead at their charged time — a subset of `packets_dropped`,
+    /// attributed to the fault subsystem.
+    pub drops_on_dead_link: u64,
+    /// Messages this node re-routed around a failed upper-level switch
+    /// (fat-tree path diversity; charged a longer route).
+    pub reroutes: u64,
+    /// Times this node came back from a scheduled crash.
+    pub crash_recoveries: u64,
+    /// Wire bytes re-sent by the recovery machinery: full replays of
+    /// bounced attempts plus selective tail resumes.
+    pub retransmitted_bytes: u64,
+    /// Per-peer abandonment counts as `(peer, messages)` pairs, ascending
+    /// by peer — nonempty only when `recovery_abandoned > 0`.
+    pub abandoned_peers: Vec<(u32, u64)>,
 }
 
 /// Simulation output summary.
@@ -519,6 +654,10 @@ pub struct Report {
     pub net_packets: u64,
     /// Total payload bytes through the network.
     pub net_bytes: u64,
+    /// Aggregate scheduled downtime (ns) across all fault-plan intervals —
+    /// link flaps, switch outages, and node crash windows — clipped to the
+    /// run's end time. 0 when no fault plan is installed.
+    pub links_downed_ns: u64,
 }
 
 impl NodeStats {
@@ -554,6 +693,11 @@ impl NodeStats {
             pt_disabled_ns: node.nic.stats.pt_disabled_ns,
             recovered_messages: node.nic.recovery.recovered_messages(),
             recovery_latency_ns: node.nic.recovery.recovery_latency_ns(),
+            drops_on_dead_link: node.nic.stats.drops_on_dead_link,
+            reroutes: node.nic.stats.reroutes,
+            crash_recoveries: node.nic.stats.crash_recoveries,
+            retransmitted_bytes: node.nic.stats.retransmitted_bytes,
+            abandoned_peers: node.nic.recovery.abandoned_by_peer(),
         }
     }
 }
@@ -684,6 +828,11 @@ impl SimBuilder {
         for i in 0..n {
             engine.queue_mut().post_at(Time::ZERO, Ev::Start(i));
         }
+        if let Some(faults) = &world.faults {
+            for (i, ev) in faults.events().iter().enumerate() {
+                engine.queue_mut().post_at(ev.at, Ev::Fault(i as u32));
+            }
+        }
         let end = if batched {
             engine.run_batched(&mut world)
         } else {
@@ -697,6 +846,7 @@ impl SimBuilder {
             node_stats: world.nodes.iter().map(NodeStats::of).collect(),
             net_packets: world.network.packets_sent(),
             net_bytes: world.network.bytes_sent(),
+            links_downed_ns: world.faults.as_ref().map_or(0, |f| f.downtime_ns(end)),
         };
         SimOutput { report, world }
     }

@@ -1,0 +1,8 @@
+//! `spin-chaos` — fault-intensity sweep: scheduled link flaps at the
+//! receiver of a saturation run, goodput / recovery latency / resilience
+//! counters, RDMA vs sPIN.
+use spin_experiments::{chaos, emit, Opts};
+fn main() {
+    let opts = Opts::from_args();
+    emit(opts, &chaos::chaos_tables(opts.quick, opts.reps));
+}

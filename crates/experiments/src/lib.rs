@@ -18,11 +18,13 @@
 //! | [`noise_figures`] | OS-noise exposure: ping-pong + KV latency, quiet vs noisy (beyond the paper) |
 //! | [`saturation`] | closed-loop overload: goodput + recovery latency (beyond the paper) |
 //! | [`sharding`] | large-world incast scenario driving the sharded parallel engine (beyond the paper) |
+//! | [`chaos`] | scheduled fault intensity vs goodput and recovery latency (beyond the paper) |
 //! | [`scenario_runner`] | declarative scenario files (`spin-scenario` binary) through the sweep harness |
 
 use spin_sim::stats::Table;
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -9,7 +9,7 @@
 
 use spin_core::config::NicKind;
 use spin_experiments::{
-    ablation, fig3, fig4, fig5, fig5b, fig7, noise_figures, saturation, spc, table5,
+    ablation, chaos, fig3, fig4, fig5, fig5b, fig7, noise_figures, saturation, spc, table5,
 };
 use spin_sim::stats::Table;
 use std::process::Command;
@@ -94,6 +94,13 @@ fn saturation_tables_quick() {
 }
 
 #[test]
+fn chaos_tables_quick() {
+    for t in chaos::chaos_tables(true, 1) {
+        assert_nontrivial(&t);
+    }
+}
+
+#[test]
 fn noise_tables_quick() {
     for t in noise_figures::noise_tables(true, 1) {
         assert_nontrivial(&t);
@@ -150,6 +157,7 @@ binary_smoke! {
     bin_saturation => "CARGO_BIN_EXE_saturation",
     bin_noise_pingpong => "CARGO_BIN_EXE_noise_pingpong",
     bin_noise_kv => "CARGO_BIN_EXE_noise_kv",
+    bin_spin_chaos => "CARGO_BIN_EXE_spin-chaos",
 }
 
 #[test]

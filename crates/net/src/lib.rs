@@ -25,5 +25,5 @@ pub mod topology;
 pub mod transfer;
 
 pub use params::NetParams;
-pub use topology::{NodeId, Topology, TopologySpec};
+pub use topology::{Family, NodeId, Topology, TopologySpec};
 pub use transfer::{Network, PacketTiming};

@@ -98,6 +98,20 @@ impl TopologySpec {
     }
 }
 
+/// Which routing family a [`Topology`] instance belongs to — the public
+/// face of the private `Kind` discriminant, for callers (like the fault
+/// compiler) that must branch on structure without reaching inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Folded-Clos fat tree: leaf switches plus (at 2+ levels) an upper
+    /// spine/core tier with path diversity.
+    FatTree,
+    /// Dragonfly: every switch is a router with directly attached nodes.
+    Dragonfly,
+    /// Torus: one router per node.
+    Torus,
+}
+
 impl Topology {
     /// Build the smallest fat tree of `ports`-radix switches that connects
     /// `nodes` endpoints.
@@ -179,6 +193,15 @@ impl Topology {
     /// Number of endpoints.
     pub fn nodes(&self) -> u32 {
         self.nodes
+    }
+
+    /// The routing family this instance belongs to.
+    pub fn family(&self) -> Family {
+        match &self.kind {
+            Kind::FatTree { .. } => Family::FatTree,
+            Kind::Dragonfly { .. } => Family::Dragonfly,
+            Kind::Torus { .. } => Family::Torus,
+        }
     }
 
     /// Number of tree levels (1, 2, or 3). Fat tree only.

@@ -30,6 +30,7 @@
 
 use serde::{Deserialize, Serialize};
 use spin_core::config::{ImpairmentConfig, ImpairmentRule, LinkImpairment, MachineConfig, NicKind};
+use spin_core::fault::{CompiledFaults, FaultEvent, FaultKind, FaultPlan};
 use spin_core::world::{Report, SimBuilder, SimOutput};
 use spin_net::TopologySpec;
 use spin_sim::noise::NoiseModel;
@@ -178,6 +179,91 @@ pub struct Impairment {
     pub background_ns: u64,
 }
 
+/// What one scheduled fault does. Mirrors
+/// [`FaultKind`](spin_core::fault::FaultKind) one-to-one; times are
+/// nanoseconds and endpoints/switches are validated against the topology
+/// at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultActionConfig {
+    /// Down node `node`'s access link until a later `LinkUp`: every
+    /// recovery-tracked message to or from it drops at the source.
+    LinkDown { node: u32 },
+    /// Re-open node `node`'s access link.
+    LinkUp { node: u32 },
+    /// Fail switch `switch`: leaf-class switches down every attached
+    /// node's access link; upper fat-tree switches shed load onto the
+    /// surviving spine (reroute) or partition the fabric if none survive.
+    SwitchDown { switch: u32 },
+    /// Bring switch `switch` back.
+    SwitchUp { switch: u32 },
+    /// Crash node `node`: NIC state (matching entries, channels, in-flight
+    /// recovery) is torn down and the node goes unreachable.
+    NodeCrash { node: u32 },
+    /// Restart node `node`: its program's `on_start` re-runs, re-arming
+    /// matching entries against the fresh NIC.
+    NodeRestart { node: u32 },
+    /// Open a degrade window on matching links: `extra_latency_ns` is
+    /// added to every message, `loss` is the per-message drop probability
+    /// (requires `machine.recovery`). Absent selectors are wildcards.
+    Degrade {
+        #[serde(default)]
+        src: Option<u32>,
+        #[serde(default)]
+        dst: Option<u32>,
+        #[serde(default)]
+        extra_latency_ns: u64,
+        #[serde(default)]
+        loss: f64,
+    },
+    /// Close the degrade window with exactly this selector pair.
+    Restore {
+        #[serde(default)]
+        src: Option<u32>,
+        #[serde(default)]
+        dst: Option<u32>,
+    },
+}
+
+/// One timed fault in a scenario's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Absolute simulated time the fault fires (ns). Events at the same
+    /// instant apply in declaration order.
+    pub at_ns: u64,
+    /// What happens.
+    pub action: FaultActionConfig,
+}
+
+impl Fault {
+    /// The engine-level fault event.
+    fn event(&self) -> FaultEvent {
+        let kind = match self.action {
+            FaultActionConfig::LinkDown { node } => FaultKind::LinkDown { node },
+            FaultActionConfig::LinkUp { node } => FaultKind::LinkUp { node },
+            FaultActionConfig::SwitchDown { switch } => FaultKind::SwitchDown { switch },
+            FaultActionConfig::SwitchUp { switch } => FaultKind::SwitchUp { switch },
+            FaultActionConfig::NodeCrash { node } => FaultKind::NodeCrash { node },
+            FaultActionConfig::NodeRestart { node } => FaultKind::NodeRestart { node },
+            FaultActionConfig::Degrade {
+                src,
+                dst,
+                extra_latency_ns,
+                loss,
+            } => FaultKind::Degrade {
+                src,
+                dst,
+                extra_latency: Time::from_ns(extra_latency_ns),
+                loss,
+            },
+            FaultActionConfig::Restore { src, dst } => FaultKind::Restore { src, dst },
+        };
+        FaultEvent {
+            at: Time::from_ns(self.at_ns),
+            kind,
+        }
+    }
+}
+
 /// Role placement: which rank runs the distinguished program.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Roles {
@@ -287,6 +373,16 @@ pub struct Expect {
     /// Minimum retransmitted messages summed over all nodes.
     #[serde(default)]
     pub min_retransmits: u64,
+    /// Minimum fault-triggered reroutes summed over all nodes (spine
+    /// failure scenarios prove path diversity actually absorbed the hit).
+    #[serde(default)]
+    pub min_reroutes: u64,
+    /// Maximum messages abandoned after probe exhaustion, summed over all
+    /// nodes; absent = unchecked. `0` pins "nothing was ever given up on"
+    /// — the check failure lists every (rank, peer) abandonment so a
+    /// violated pin names who gave up on whom.
+    #[serde(default)]
+    pub max_abandoned: Option<u64>,
 }
 
 /// One declarative scenario file.
@@ -305,6 +401,10 @@ pub struct Scenario {
     /// Per-link impairment rules (first match wins).
     #[serde(default)]
     pub impairments: Vec<Impairment>,
+    /// Scheduled fault events (validated and compiled against the
+    /// topology; drop-capable schedules require `machine.recovery`).
+    #[serde(default)]
+    pub faults: Vec<Fault>,
     /// Role placement.
     #[serde(default)]
     pub roles: Roles,
@@ -383,6 +483,9 @@ impl ScenarioCompiler {
         if !s.impairments.is_empty() {
             cfg = cfg.with_impairments(self.impairment_config()?);
         }
+        if !s.faults.is_empty() {
+            cfg = cfg.with_faults(self.fault_plan()?);
+        }
         if let Some(mem) = s.machine.mem_size {
             cfg.host.mem_size = mem as usize;
         } else if matches!(
@@ -439,6 +542,29 @@ impl ScenarioCompiler {
             });
         }
         Ok(ImpairmentConfig { rules })
+    }
+
+    /// Validate and translate the fault schedule: build the engine plan,
+    /// then dry-compile it against the declared topology so a bad event
+    /// (unknown node/switch, unmatched up/down pair, loss out of range)
+    /// fails here with the scenario's name and the event index attached,
+    /// not as a panic at world-build time.
+    fn fault_plan(&self) -> Result<FaultPlan, Error> {
+        let s = &self.scenario;
+        let plan = FaultPlan {
+            events: s.faults.iter().map(Fault::event).collect(),
+        };
+        if plan.drop_capable() && !s.machine.recovery {
+            return Err(Error::msg(format!(
+                "scenario {:?}: the fault schedule can drop traffic (link/switch/node \
+                 failures or a lossy degrade) but machine.recovery is off (dropped \
+                 messages would never be retransmitted)",
+                s.name
+            )));
+        }
+        CompiledFaults::compile(&plan, &s.topology.spec().build())
+            .map_err(|e| Error::msg(format!("scenario {:?}: {e}", s.name)))?;
+        Ok(plan)
     }
 
     /// Compile to a ready-to-run builder.
@@ -607,6 +733,33 @@ impl ScenarioCompiler {
                 s.name, s.expect.min_retransmits
             )));
         }
+        let reroutes: u64 = report.node_stats.iter().map(|n| n.reroutes).sum();
+        if reroutes < s.expect.min_reroutes {
+            return Err(Error::msg(format!(
+                "scenario {:?}: {reroutes} reroutes < pinned minimum {}",
+                s.name, s.expect.min_reroutes
+            )));
+        }
+        if let Some(max) = s.expect.max_abandoned {
+            let abandoned: u64 = report.node_stats.iter().map(|n| n.recovery_abandoned).sum();
+            if abandoned > max {
+                let mut detail = String::new();
+                for (rank, st) in report.node_stats.iter().enumerate() {
+                    for &(peer, count) in &st.abandoned_peers {
+                        use std::fmt::Write as _;
+                        write!(
+                            detail,
+                            "\n  rank {rank} abandoned {count} message(s) to peer {peer}"
+                        )
+                        .unwrap();
+                    }
+                }
+                return Err(Error::msg(format!(
+                    "scenario {:?}: {abandoned} abandoned message(s) > pinned maximum {max}{detail}",
+                    s.name
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -667,6 +820,25 @@ pub fn fingerprint(r: &Report) -> String {
             s.recovery_latency_ns,
         )
         .unwrap();
+        // Fault counters appear only when the fault machinery actually
+        // fired, so every pre-fault-subsystem digest reproduces unchanged.
+        if s.drops_on_dead_link + s.reroutes + s.crash_recoveries > 0
+            || !s.abandoned_peers.is_empty()
+        {
+            writeln!(
+                out,
+                "fault{i} deadlink={} reroutes={} crashrec={} rtxbytes={} abandoned={:?}",
+                s.drops_on_dead_link,
+                s.reroutes,
+                s.crash_recoveries,
+                s.retransmitted_bytes,
+                s.abandoned_peers,
+            )
+            .unwrap();
+        }
+    }
+    if r.links_downed_ns > 0 {
+        writeln!(out, "faults downed_ns={}", r.links_downed_ns).unwrap();
     }
     writeln!(out, "net packets={} bytes={}", r.net_packets, r.net_bytes).unwrap();
     out
@@ -792,6 +964,75 @@ mod tests {
         .unwrap();
         let e = compile_err(s);
         assert!(e.message().contains("src 9"), "{e}");
+    }
+
+    #[test]
+    fn faults_roundtrip_compile_and_run() {
+        let s = Scenario::from_json(&gather_json(
+            r#", "machine": {"recovery": true},
+               "faults": [
+                 {"at_ns": 2000, "action": {"LinkDown": {"node": 1}}},
+                 {"at_ns": 9000, "action": {"LinkUp": {"node": 1}}},
+                 {"at_ns": 100, "action": {"Degrade": {"dst": 0, "extra_latency_ns": 250}}},
+                 {"at_ns": 4000, "action": {"Restore": {"dst": 0}}}
+               ]"#,
+        ))
+        .unwrap();
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(s.faults.len(), 4);
+        assert_eq!(
+            s.faults[2].action,
+            FaultActionConfig::Degrade {
+                src: None,
+                dst: Some(0),
+                extra_latency_ns: 250,
+                loss: 0.0
+            }
+        );
+        let c = ScenarioCompiler::new(s);
+        let plan = c.machine_config().unwrap().faults.expect("plan installed");
+        assert_eq!(plan.events.len(), 4);
+        let out = c.run(1).unwrap();
+        assert!(out.report.events_executed > 0);
+    }
+
+    #[test]
+    fn drop_capable_faults_without_recovery_are_rejected() {
+        let s = Scenario::from_json(&gather_json(
+            r#", "faults": [{"at_ns": 0, "action": {"NodeCrash": {"node": 1}}}]"#,
+        ))
+        .unwrap();
+        let e = compile_err(s);
+        assert!(e.message().contains("machine.recovery is off"), "{e}");
+    }
+
+    #[test]
+    fn fault_validation_names_the_scenario_and_event() {
+        // Node out of range for the 4-endpoint tree.
+        let s = Scenario::from_json(&gather_json(
+            r#", "machine": {"recovery": true},
+               "faults": [{"at_ns": 0, "action": {"LinkDown": {"node": 9}}}]"#,
+        ))
+        .unwrap();
+        let e = compile_err(s);
+        assert!(e.message().contains("\"t\""), "{e}");
+        assert!(e.message().contains("node 9"), "{e}");
+        // Unmatched LinkUp.
+        let s = Scenario::from_json(&gather_json(
+            r#", "faults": [{"at_ns": 0, "action": {"LinkUp": {"node": 1}}}]"#,
+        ))
+        .unwrap();
+        let e = compile_err(s);
+        assert!(e.message().contains("no open LinkDown"), "{e}");
+    }
+
+    #[test]
+    fn max_abandoned_zero_passes_a_clean_run() {
+        let s = Scenario::from_json(&gather_json(r#", "expect": {"max_abandoned": 0}"#)).unwrap();
+        let c = ScenarioCompiler::new(s);
+        let out = c.run(1).unwrap();
+        c.check(&out.report).unwrap();
     }
 
     #[test]

@@ -5,6 +5,7 @@
 #![allow(dead_code)] // each test binary uses its own subset
 
 use spin_core::config::{MachineConfig, NicKind};
+use spin_core::fault::{FaultKind, FaultPlan};
 use spin_core::host::{HostApi, HostProgram, MeSpec, PutArgs};
 use spin_core::world::{Report, ShardMode, SimBuilder};
 use spin_sim::time::Time;
@@ -128,4 +129,95 @@ pub fn run_case_mode(n: u32, plans: &[Vec<PlannedOp>], shards: usize, mode: Shar
 /// engine.
 pub fn run_case(n: u32, plans: &[Vec<PlannedOp>], shards: usize) -> Report {
     run_case_mode(n, plans, shards, ShardMode::Exact)
+}
+
+/// Run one case under a scheduled fault plan. Recovery is always on —
+/// drop-capable plans require it, and a constant config keeps the serial
+/// and sharded runs comparable.
+pub fn run_case_faults_mode(
+    n: u32,
+    plans: &[Vec<PlannedOp>],
+    plan: &FaultPlan,
+    shards: usize,
+    mode: ShardMode,
+) -> Report {
+    let mut config = MachineConfig::paper(NicKind::Integrated).with_recovery();
+    config.net.switch_ports = 4;
+    if !plan.events.is_empty() {
+        config = config.with_faults(plan.clone());
+    }
+    let builder = SimBuilder::new(config).nodes_with(n, |r| {
+        Box::new(TrafficNode {
+            plan: plans[r as usize].clone(),
+        })
+    });
+    if shards <= 1 {
+        builder.run_serial().report
+    } else {
+        builder.run_with_shards_mode(shards, mode).report
+    }
+}
+
+/// Shape raw proptest words into a *valid* fault schedule for an `n`-node
+/// world: every down is paired with a later up (the compiler rejects
+/// double-downs, so each node flaps/crashes at most once and each degrade
+/// selector pair is used at most once).
+pub fn fault_plan_from(n: u32, specs: &[(u8, u64, u64)]) -> FaultPlan {
+    let mut plan = FaultPlan::default();
+    let mut flapped = vec![false; n as usize];
+    let mut crashed = vec![false; n as usize];
+    let mut degraded: Vec<(Option<u32>, Option<u32>)> = Vec::new();
+    for &(sel, a, b) in specs {
+        let node = u32::from(sel) % n;
+        let start = Time::from_ns(500 + a % 25_000);
+        let end = start + Time::from_ns(400 + b % 12_000);
+        match a.wrapping_add(b) % 3 {
+            0 => {
+                if flapped[node as usize] {
+                    continue;
+                }
+                flapped[node as usize] = true;
+                plan = plan
+                    .with(start, FaultKind::LinkDown { node })
+                    .with(end, FaultKind::LinkUp { node });
+            }
+            1 => {
+                if crashed[node as usize] {
+                    continue;
+                }
+                crashed[node as usize] = true;
+                plan = plan
+                    .with(start, FaultKind::NodeCrash { node })
+                    .with(end, FaultKind::NodeRestart { node });
+            }
+            _ => {
+                let pair = (
+                    Some(node),
+                    Some((node + 1 + (b % u64::from(n - 1)) as u32) % n),
+                );
+                if degraded.contains(&pair) {
+                    continue;
+                }
+                degraded.push(pair);
+                plan = plan
+                    .with(
+                        start,
+                        FaultKind::Degrade {
+                            src: pair.0,
+                            dst: pair.1,
+                            extra_latency: Time::from_ns(50 + a % 800),
+                            loss: if b % 4 == 0 { 0.2 } else { 0.0 },
+                        },
+                    )
+                    .with(
+                        end,
+                        FaultKind::Restore {
+                            src: pair.0,
+                            dst: pair.1,
+                        },
+                    );
+            }
+        }
+    }
+    plan
 }

@@ -123,6 +123,7 @@ proptest! {
                 ring_bytes: 128,
                 stride: 1,
             },
+            faults: vec![],
             expect: Expect::default(),
         };
         let c = ScenarioCompiler::new(scenario);
